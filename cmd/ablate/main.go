@@ -1,0 +1,55 @@
+// Command ablate sweeps the design choices of the hybrid migration scheme
+// on the Figure 3 IOR scenario: the write-count threshold, the prioritized
+// pull order, the repository stripe size, the base-image prefetch, and the
+// paper's future-work extensions (dedup, compression).
+//
+// Usage:
+//
+//	ablate [-which threshold|priority|stripe|prefetch|dedup|compression|all]
+//	       [-scale small|paper]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/hybridmig/hybridmig/internal/experiments"
+)
+
+func main() {
+	which := flag.String("which", "all", "ablation to run")
+	scaleName := flag.String("scale", "small", "small or paper")
+	flag.Parse()
+
+	scale := experiments.ScaleSmall
+	if *scaleName == "paper" {
+		scale = experiments.ScalePaper
+	}
+
+	type ab struct {
+		name string
+		run  func(experiments.Scale) []experiments.AblationRow
+	}
+	all := []ab{
+		{"threshold", experiments.AblateThreshold},
+		{"priority", experiments.AblatePullPriority},
+		{"stripe", experiments.AblateStripeSize},
+		{"prefetch", experiments.AblateBasePrefetch},
+		{"dedup", experiments.AblateDedup},
+		{"compression", experiments.AblateCompression},
+	}
+	ran := false
+	for _, a := range all {
+		if *which != "all" && *which != a.name {
+			continue
+		}
+		ran = true
+		rows := a.run(scale)
+		fmt.Println(experiments.AblationTable("Ablation: "+a.name+" ("+scale.String()+" scale, IOR scenario)", rows))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "ablate: unknown ablation %q\n", *which)
+		os.Exit(2)
+	}
+}

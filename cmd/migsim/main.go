@@ -1,0 +1,108 @@
+// Command migsim runs a single live-migration scenario: one VM under a
+// chosen workload and storage transfer approach, migrated after a warm-up,
+// with a full measurement summary.
+//
+// Usage:
+//
+//	migsim [-approach our-approach|mirror|postcopy|precopy|pvfs-shared]
+//	       [-workload ior|asyncwr|none] [-scale small|paper] [-warmup s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	hybridmig "github.com/hybridmig/hybridmig"
+	"github.com/hybridmig/hybridmig/internal/experiments"
+	"github.com/hybridmig/hybridmig/internal/flow"
+	"github.com/hybridmig/hybridmig/internal/sim"
+	"github.com/hybridmig/hybridmig/internal/workload"
+)
+
+func main() {
+	approachName := flag.String("approach", "our-approach", "storage transfer approach")
+	workloadName := flag.String("workload", "ior", "guest workload: ior, asyncwr, none")
+	scaleName := flag.String("scale", "small", "small or paper")
+	warmup := flag.Float64("warmup", -1, "seconds before the migration (default: scale's warm-up)")
+	flag.Parse()
+
+	var approach hybridmig.Approach
+	for _, a := range hybridmig.Approaches() {
+		if string(a) == *approachName {
+			approach = a
+		}
+	}
+	if approach == "" {
+		fmt.Fprintf(os.Stderr, "migsim: unknown approach %q\n", *approachName)
+		os.Exit(2)
+	}
+	scale := experiments.ScaleSmall
+	if *scaleName == "paper" {
+		scale = experiments.ScalePaper
+	}
+	set := experiments.NewSetup(scale, 10)
+	if *warmup >= 0 {
+		set.Warmup = *warmup
+	}
+
+	tb := hybridmig.NewTestbed(set.Cluster)
+	inst := tb.Launch("vm0", 0, approach)
+
+	var ior *workload.IOR
+	var awr *workload.AsyncWR
+	switch *workloadName {
+	case "ior":
+		inst.Guest.Buffered = false
+		ior = workload.NewIOR(set.IOR)
+		tb.Eng.Go("ior", func(p *sim.Proc) { ior.Run(p, inst.Guest) })
+	case "asyncwr":
+		awr = workload.NewAsyncWR(set.AsyncWR)
+		tb.Eng.Go("asyncwr", func(p *sim.Proc) { awr.Run(p, inst.Guest) })
+	case "none":
+	default:
+		fmt.Fprintf(os.Stderr, "migsim: unknown workload %q\n", *workloadName)
+		os.Exit(2)
+	}
+
+	tb.Eng.Go("middleware", func(p *sim.Proc) {
+		p.Sleep(set.Warmup)
+		tb.MigrateInstance(p, inst, 1)
+	})
+	hybridmig.Run(tb)
+
+	fmt.Printf("approach:        %s\n", approach)
+	fmt.Printf("workload:        %s (%s scale)\n", *workloadName, scale)
+	fmt.Printf("migration time:  %.2f s\n", inst.MigrationTime)
+	fmt.Printf("downtime:        %.0f ms\n", inst.HVResult.Downtime*1000)
+	fmt.Printf("memory moved:    %.1f MB in %d rounds (converged=%v)\n",
+		inst.HVResult.MemoryBytes/(1<<20), inst.HVResult.Rounds, inst.HVResult.Converged)
+	if inst.HVResult.BlockBytes > 0 {
+		fmt.Printf("block migration: %.1f MB\n", inst.HVResult.BlockBytes/(1<<20))
+	}
+	if inst.Core != nil {
+		st := inst.CoreStats
+		fmt.Printf("pushed:          %d chunks (%.1f MB)\n", st.PushedChunks, st.PushedBytes/(1<<20))
+		fmt.Printf("pulled:          %d background + %d on-demand (%.1f MB)\n",
+			st.PulledChunks, st.OnDemandPulls, (st.PulledBytes+st.OnDemandBytes)/(1<<20))
+		fmt.Printf("hot (deferred):  %d chunks\n", st.SkippedHot)
+		fmt.Printf("base prefetch:   %.1f MB\n", st.PrefetchBytes/(1<<20))
+	}
+	net := tb.Cl.Net
+	fmt.Printf("network traffic: memory %.1f MB, push %.1f MB, pull %.1f MB, blockmig %.1f MB, mirror %.1f MB, repo %.1f MB, pfs %.1f MB\n",
+		net.BytesByTag(flow.TagMemory)/(1<<20),
+		net.BytesByTag(flow.TagStoragePush)/(1<<20),
+		net.BytesByTag(flow.TagStoragePull)/(1<<20),
+		net.BytesByTag(flow.TagBlockMig)/(1<<20),
+		net.BytesByTag(flow.TagMirror)/(1<<20),
+		net.BytesByTag(flow.TagRepo)/(1<<20),
+		net.BytesByTag(flow.TagPFS)/(1<<20))
+	if ior != nil {
+		fmt.Printf("IOR:             read %.1f MB/s, write %.1f MB/s over %d iterations\n",
+			ior.Report.ReadBW()/(1<<20), ior.Report.WriteBW()/(1<<20), ior.Report.Iterations)
+	}
+	if awr != nil {
+		fmt.Printf("AsyncWR:         %d iterations, %.2f MB/s sustained\n",
+			awr.Report.Counter, awr.Report.WriteBW()/(1<<20))
+	}
+}

@@ -1,0 +1,81 @@
+// Command paperrepro regenerates the tables and figures of the paper's
+// evaluation section and prints them as text tables.
+//
+// Usage:
+//
+//	paperrepro [-experiment table1|fig3|fig4|fig5|all] [-scale small|paper]
+//
+// At -scale paper the runs use the full Section 5 parameters (4 GB images
+// and RAM, 100 s warm-up, up to 30 concurrent migrations, 64 CM1 ranks);
+// -scale small preserves the ratios at roughly 1/16 size for quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/hybridmig/hybridmig/internal/experiments"
+	"github.com/hybridmig/hybridmig/internal/metrics"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "which artifact to regenerate: table1, fig3, fig4, fig5, all")
+	scaleName := flag.String("scale", "small", "run size: small or paper")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "small":
+		scale = experiments.ScaleSmall
+	case "paper":
+		scale = experiments.ScalePaper
+	default:
+		fmt.Fprintf(os.Stderr, "paperrepro: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("table1") {
+		ran = true
+		t := metrics.NewTable("Table 1: summary of compared approaches", "approach", "local storage transfer strategy")
+		for _, r := range experiments.RunTable1() {
+			t.AddRow(string(r.Approach), r.Strategy)
+		}
+		fmt.Println(t)
+	}
+	if want("fig3") {
+		ran = true
+		start := time.Now()
+		rows := experiments.RunFig3(scale)
+		for _, t := range experiments.Fig3Tables(rows) {
+			fmt.Println(t)
+		}
+		fmt.Printf("(fig3 %s scale: %.1fs wall)\n\n", scale, time.Since(start).Seconds())
+	}
+	if want("fig4") {
+		ran = true
+		start := time.Now()
+		rows := experiments.RunFig4(scale)
+		for _, t := range experiments.Fig4Tables(scale, rows) {
+			fmt.Println(t)
+		}
+		fmt.Printf("(fig4 %s scale: %.1fs wall)\n\n", scale, time.Since(start).Seconds())
+	}
+	if want("fig5") {
+		ran = true
+		start := time.Now()
+		rows := experiments.RunFig5(scale)
+		for _, t := range experiments.Fig5Tables(scale, rows) {
+			fmt.Println(t)
+		}
+		fmt.Printf("(fig5 %s scale: %.1fs wall)\n\n", scale, time.Since(start).Seconds())
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "paperrepro: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

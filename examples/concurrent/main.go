@@ -1,0 +1,66 @@
+// concurrent reproduces a slice of the paper's Section 5.4 scenario: a fleet
+// of AsyncWR VMs, half of which live-migrate simultaneously, exercising the
+// datacenter under concurrent migration load.
+//
+// Run with: go run ./examples/concurrent
+package main
+
+import (
+	"fmt"
+
+	hybridmig "github.com/hybridmig/hybridmig"
+)
+
+const (
+	sources    = 6
+	concurrent = 3
+)
+
+func main() {
+	cfg := hybridmig.SmallConfig(2 * sources)
+	tb := hybridmig.NewTestbed(cfg)
+
+	// Deploy the fleet, each VM running AsyncWR (compute + async writes).
+	insts := make([]*hybridmig.Instance, sources)
+	loads := make([]*hybridmig.AsyncWR, sources)
+	for i := 0; i < sources; i++ {
+		i := i
+		insts[i] = tb.Launch(fmt.Sprintf("vm%d", i), i, hybridmig.OurApproach)
+		p := hybridmig.DefaultAsyncWRParams()
+		p.Iterations = 60
+		p.DataPerIter = 2 << 20
+		p.ComputeTime = 0.35
+		p.WorkingSet = 16 << 20
+		p.MemoryDirtyRate = 8 << 20
+		loads[i] = hybridmig.NewAsyncWR(p)
+		tb.Eng.Go(fmt.Sprintf("asyncwr%d", i), func(pr *hybridmig.Proc) {
+			loads[i].Run(pr, insts[i].Guest)
+		})
+	}
+
+	// Migrate the first half simultaneously after a warm-up.
+	for k := 0; k < concurrent; k++ {
+		k := k
+		tb.Eng.Go(fmt.Sprintf("mw%d", k), func(p *hybridmig.Proc) {
+			p.Sleep(8)
+			tb.MigrateInstance(p, insts[k], sources+k)
+		})
+	}
+
+	hybridmig.Run(tb)
+
+	fmt.Printf("%d simultaneous migrations of %d AsyncWR VMs:\n\n", concurrent, sources)
+	var sumMig float64
+	for k := 0; k < concurrent; k++ {
+		fmt.Printf("  %s: migrated in %6.2f s (downtime %4.0f ms)\n",
+			insts[k].Name, insts[k].MigrationTime, insts[k].HVResult.Downtime*1000)
+		sumMig += insts[k].MigrationTime
+	}
+	fmt.Printf("\navg migration time: %.2f s\n", sumMig/concurrent)
+	var iter int64
+	for _, w := range loads {
+		iter += w.Report.Counter
+	}
+	fmt.Printf("aggregate compute:  %d iterations across the fleet\n", iter)
+	fmt.Printf("fabric traffic:     %.1f MB total\n", tb.Cl.Fabric.Bytes()/(1<<20))
+}

@@ -1,0 +1,140 @@
+// Package hybridmig is a simulation-backed reproduction of "A Hybrid Local
+// Storage Transfer Scheme for Live Migration of I/O Intensive Workloads"
+// (Nicolae and Cappello, HPDC 2012).
+//
+// It provides a deterministic discrete-event model of an IaaS datacenter —
+// compute nodes with NICs and local disks behind a shared switch fabric, a
+// striped repository for base VM images, a parallel file system, guest I/O
+// stacks and a QEMU-style pre-copy hypervisor — and, on top of it, the
+// paper's contribution: a migration manager implementing the hybrid active
+// push / prioritized prefetch scheme for live storage migration, together
+// with the four baselines the paper compares against (mirror, postcopy,
+// precopy block migration, and shared-PFS storage).
+//
+// This package is the public facade: it re-exports the types needed to
+// assemble testbeds, deploy VM instances per approach, drive the bundled
+// workloads (IOR, AsyncWR, CM1), trigger live migrations, and regenerate
+// every table and figure of the paper's evaluation. The implementation
+// lives in internal/ packages; see DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+//
+// A minimal session:
+//
+//	cfg := hybridmig.DefaultConfig(10)
+//	tb := hybridmig.NewTestbed(cfg)
+//	inst := tb.Launch("vm0", 0, hybridmig.OurApproach)
+//	ior := hybridmig.NewIOR(hybridmig.DefaultIORParams())
+//	tb.Eng.Go("ior", func(p *hybridmig.Proc) { ior.Run(p, inst.Guest) })
+//	tb.Eng.Go("mw", func(p *hybridmig.Proc) {
+//		p.Sleep(100) // the paper's warm-up
+//		tb.MigrateInstance(p, inst, 1)
+//	})
+//	tb.Run()
+//	fmt.Println(inst.MigrationTime)
+package hybridmig
+
+import (
+	"github.com/hybridmig/hybridmig/internal/cluster"
+	"github.com/hybridmig/hybridmig/internal/experiments"
+	"github.com/hybridmig/hybridmig/internal/params"
+	"github.com/hybridmig/hybridmig/internal/sim"
+	"github.com/hybridmig/hybridmig/internal/workload"
+)
+
+// Approach names one of the five compared storage transfer strategies.
+type Approach = cluster.Approach
+
+// The five approaches of the paper's Table 1.
+const (
+	OurApproach = cluster.OurApproach
+	Mirror      = cluster.Mirror
+	Postcopy    = cluster.Postcopy
+	Precopy     = cluster.Precopy
+	PVFSShared  = cluster.PVFSShared
+)
+
+// Approaches lists all five approaches in the paper's order.
+func Approaches() []Approach { return cluster.Approaches() }
+
+// Config assembles every knob of a simulated testbed.
+type Config = cluster.Config
+
+// Testbed is a fully assembled simulated datacenter.
+type Testbed = cluster.Testbed
+
+// Instance is one deployed VM with its I/O stack and migration results.
+type Instance = cluster.Instance
+
+// Proc is a simulation process handle; workload and middleware code runs in
+// one.
+type Proc = sim.Proc
+
+// Engine is the discrete-event engine driving a testbed.
+type Engine = sim.Engine
+
+// DefaultConfig returns the paper's testbed configuration (Section 5.1) for
+// the given node count: 117.5 MB/s NICs, 55 MB/s disks, 8 GB/s fabric, 4 GB
+// images and RAM, 256 KB chunks.
+func DefaultConfig(nodes int) Config { return cluster.DefaultConfig(nodes) }
+
+// SmallConfig returns a 1/16-scale testbed that preserves the paper's
+// ratios, for fast experiments and tests.
+func SmallConfig(nodes int) Config { return cluster.SmallConfig(nodes) }
+
+// NewTestbed assembles a datacenter: nodes, repository (BlobSeer stand-in),
+// parallel file system (PVFS stand-in), and the 4 GB base image installed
+// in both.
+func NewTestbed(cfg Config) *Testbed { return cluster.New(cfg) }
+
+// Run drives the testbed's simulation until all activity drains.
+func Run(tb *Testbed) {
+	if err := tb.Eng.RunUntil(1e9); err != nil {
+		panic(err)
+	}
+	tb.Eng.Shutdown()
+}
+
+// Workloads of the paper's evaluation (Section 5.3-5.5).
+type (
+	// IOR is the HPC I/O benchmark: per iteration, write then read one file
+	// sequentially in fixed blocks.
+	IOR = workload.IOR
+	// AsyncWR mixes compute with asynchronous buffered writes; its counter
+	// measures computational potential.
+	AsyncWR = workload.AsyncWR
+	// CM1 is the BSP atmospheric stencil: compute, halo exchange, barrier,
+	// and a periodic output dump per superstep.
+	CM1 = workload.CM1
+)
+
+// NewIOR builds an IOR benchmark instance.
+func NewIOR(p params.IOR) *IOR { return workload.NewIOR(p) }
+
+// NewAsyncWR builds an AsyncWR benchmark instance.
+func NewAsyncWR(p params.AsyncWR) *AsyncWR { return workload.NewAsyncWR(p) }
+
+// NewCM1 builds a CM1 coordinator over the testbed's fabric.
+func NewCM1(p params.CM1, tb *Testbed) *CM1 { return workload.NewCM1(p, tb.Cl) }
+
+// Workload parameter bundles (paper defaults).
+func DefaultIORParams() params.IOR         { return params.DefaultIOR() }
+func DefaultAsyncWRParams() params.AsyncWR { return params.DefaultAsyncWR() }
+func DefaultCM1Params() params.CM1         { return params.DefaultCM1() }
+
+// Scale selects experiment size for the paper-reproduction runners.
+type Scale = experiments.Scale
+
+// Experiment scales.
+const (
+	ScaleSmall = experiments.ScaleSmall
+	ScalePaper = experiments.ScalePaper
+)
+
+// Paper-artifact runners: each regenerates the rows of one table or figure
+// of the evaluation section. See cmd/paperrepro for the CLI.
+var (
+	RunTable1 = experiments.RunTable1
+	RunFig3   = experiments.RunFig3
+	RunFig4   = experiments.RunFig4
+	RunFig5   = experiments.RunFig5
+)

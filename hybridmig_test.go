@@ -1,0 +1,111 @@
+package hybridmig_test
+
+import (
+	"fmt"
+	"testing"
+
+	hybridmig "github.com/hybridmig/hybridmig"
+	"github.com/hybridmig/hybridmig/internal/guest"
+)
+
+// TestPublicAPIQuickstart runs the doc-comment session end to end through
+// the facade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	cfg := hybridmig.SmallConfig(4)
+	tb := hybridmig.NewTestbed(cfg)
+	inst := tb.Launch("vm0", 0, hybridmig.OurApproach)
+
+	p := hybridmig.DefaultIORParams()
+	p.Iterations = 4
+	p.FileSize = 32 << 20
+	ior := hybridmig.NewIOR(p)
+	inst.Guest.Buffered = false
+	tb.Eng.Go("ior", func(pr *hybridmig.Proc) { ior.Run(pr, inst.Guest) })
+	tb.Eng.Go("mw", func(pr *hybridmig.Proc) {
+		pr.Sleep(2)
+		tb.MigrateInstance(pr, inst, 1)
+	})
+	hybridmig.Run(tb)
+
+	if !inst.Migrated {
+		t.Fatal("migration incomplete")
+	}
+	if inst.MigrationTime <= 0 {
+		t.Fatalf("migration time %v", inst.MigrationTime)
+	}
+	if ior.Report.Iterations != 4 {
+		t.Fatalf("IOR iterations = %d", ior.Report.Iterations)
+	}
+	if inst.VM.Node != tb.Cl.Nodes[1] {
+		t.Fatal("VM not on destination")
+	}
+}
+
+// TestPublicAPIAllApproaches deploys and migrates every approach through
+// the facade.
+func TestPublicAPIAllApproaches(t *testing.T) {
+	if len(hybridmig.Approaches()) != 5 {
+		t.Fatal("expected five approaches")
+	}
+	for i, a := range hybridmig.Approaches() {
+		cfg := hybridmig.SmallConfig(12)
+		tb := hybridmig.NewTestbed(cfg)
+		inst := tb.Launch("vm", i, a)
+		tb.Eng.Go("wl", func(pr *hybridmig.Proc) {
+			f := inst.Guest.FS.Create("d", 16<<20)
+			inst.Guest.FS.Write(pr, f, 0, 16<<20)
+		})
+		tb.Eng.Go("mw", func(pr *hybridmig.Proc) {
+			pr.Sleep(1)
+			tb.MigrateInstance(pr, inst, i+6)
+		})
+		hybridmig.Run(tb)
+		if !inst.Migrated {
+			t.Fatalf("%s: migration incomplete", a)
+		}
+	}
+}
+
+// TestPublicAPICM1 runs the CM1 workload through the facade with one
+// migration, checking the barrier-coupled application keeps its shape.
+func TestPublicAPICM1(t *testing.T) {
+	p := hybridmig.DefaultCM1Params()
+	p.Procs, p.GridX, p.GridY = 4, 2, 2
+	p.Intervals = 3
+	p.ComputePerIntvl = 1
+	p.OutputSize = 4 << 20
+	p.HaloBytes = 256 << 10
+	p.WorkingSet = 16 << 20
+	p.MemoryDirtyRate = 8 << 20
+
+	cfg := hybridmig.SmallConfig(6)
+	tb := hybridmig.NewTestbed(cfg)
+	cm1 := hybridmig.NewCM1(p, tb)
+	insts := make([]*hybridmig.Instance, p.Procs)
+	guests := make([]*guest.Guest, p.Procs)
+	for i := range insts {
+		insts[i] = tb.Launch(fmt.Sprintf("rank%d", i), i, hybridmig.OurApproach)
+		guests[i] = insts[i].Guest
+	}
+	for i := range insts {
+		i := i
+		tb.Eng.Go(fmt.Sprintf("cm1-%d", i), func(pr *hybridmig.Proc) {
+			cm1.Rank(pr, i, guests[i], guests)
+		})
+	}
+	tb.Eng.Go("mw", func(pr *hybridmig.Proc) {
+		pr.Sleep(1)
+		tb.MigrateInstance(pr, insts[0], 4)
+	})
+	hybridmig.Run(tb)
+
+	if cm1.Report.Intervals != 3 {
+		t.Fatalf("CM1 finished %d intervals, want 3", cm1.Report.Intervals)
+	}
+	if !insts[0].Migrated {
+		t.Fatal("migration incomplete")
+	}
+	if cm1.Report.Runtime <= 3 {
+		t.Fatalf("runtime %v implausibly short", cm1.Report.Runtime)
+	}
+}

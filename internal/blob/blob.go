@@ -1,0 +1,301 @@
+// Package blob implements the cloud repository substrate: a striped,
+// replicated, versioned object store in the spirit of BlobSeer (Nicolae et
+// al.), which the paper uses to hold base VM disk images.
+//
+// A blob's content is split into fixed-size stripes distributed round-robin
+// over the participating storage nodes, so concurrent readers spread load
+// across servers — the property the paper relies on to avoid read contention
+// when many destinations fetch base-image content simultaneously.
+//
+// Writes never modify stripes in place: each write publishes a new version
+// whose stripe map shares unmodified stripes with its parent (shadowing), and
+// Clone creates a new blob sharing all stripes (the multi-deployment pattern
+// of the paper's prior work). Content is identified by 64-bit content IDs
+// rather than materialized bytes; see package core for how IDs propagate.
+package blob
+
+import (
+	"fmt"
+
+	"github.com/hybridmig/hybridmig/internal/fabric"
+	"github.com/hybridmig/hybridmig/internal/flow"
+	"github.com/hybridmig/hybridmig/internal/params"
+	"github.com/hybridmig/hybridmig/internal/sim"
+)
+
+// ContentID identifies the content of one stripe. The zero value means
+// "never written" (reads as zeros).
+type ContentID uint64
+
+// stripeLoc describes where the replicas of one stripe live.
+type stripeLoc struct {
+	servers []int // indices into Store.Servers
+}
+
+// Store is the repository service.
+type Store struct {
+	Cluster *fabric.Cluster
+	Servers []*fabric.Node
+	P       params.Repository
+
+	nextBlobID int
+	nextRead   int // round-robin replica selector
+	reads      uint64
+	readBytes  float64
+	perServer  []float64 // bytes served per server, for balance tests
+}
+
+// NewStore creates a repository over the given server nodes.
+func NewStore(c *fabric.Cluster, servers []*fabric.Node, p params.Repository) *Store {
+	if len(servers) == 0 {
+		panic("blob: store needs at least one server")
+	}
+	if p.StripeSize <= 0 {
+		panic("blob: stripe size must be positive")
+	}
+	if p.Replication <= 0 {
+		p.Replication = 1
+	}
+	if p.Replication > len(servers) {
+		p.Replication = len(servers)
+	}
+	return &Store{
+		Cluster:   c,
+		Servers:   servers,
+		P:         p,
+		perServer: make([]float64, len(servers)),
+	}
+}
+
+// Reads returns the number of read requests served.
+func (s *Store) Reads() uint64 { return s.reads }
+
+// ReadBytes returns the total bytes served.
+func (s *Store) ReadBytes() float64 { return s.readBytes }
+
+// ServerBytes returns bytes served per server (index-aligned with Servers).
+func (s *Store) ServerBytes() []float64 {
+	out := make([]float64, len(s.perServer))
+	copy(out, s.perServer)
+	return out
+}
+
+// Blob is one versioned striped object.
+type Blob struct {
+	Store *Store
+	ID    int
+	Size  int64
+
+	version int
+	content []ContentID
+	loc     []stripeLoc
+}
+
+// Stripes returns the number of stripes in the blob.
+func (b *Blob) Stripes() int { return len(b.content) }
+
+// Version returns the blob's current version number.
+func (b *Blob) Version() int { return b.version }
+
+// Create allocates a blob of the given size with zero content. Stripe i is
+// placed on servers (i, i+1, ... i+R-1) mod N — BlobSeer-style round-robin
+// with replication.
+func (s *Store) Create(size int64) *Blob {
+	if size <= 0 {
+		panic("blob: size must be positive")
+	}
+	n := int((size + s.P.StripeSize - 1) / s.P.StripeSize)
+	b := &Blob{
+		Store:   s,
+		ID:      s.nextBlobID,
+		Size:    size,
+		content: make([]ContentID, n),
+		loc:     make([]stripeLoc, n),
+	}
+	s.nextBlobID++
+	for i := range b.loc {
+		servers := make([]int, s.P.Replication)
+		for r := range servers {
+			servers[r] = (i + r) % len(s.Servers)
+		}
+		b.loc[i] = stripeLoc{servers: servers}
+	}
+	return b
+}
+
+// PutContent seeds the blob's stripe content (used to install a base image
+// without simulating the upload). The slice is copied.
+func (b *Blob) PutContent(ids []ContentID) {
+	if len(ids) != len(b.content) {
+		panic(fmt.Sprintf("blob: PutContent of %d stripes into blob of %d", len(ids), len(b.content)))
+	}
+	copy(b.content, ids)
+	b.version++
+}
+
+// Clone creates a new blob sharing all stripe content and placement — a
+// metadata-only snapshot, as in BlobSeer's cloning.
+func (b *Blob) Clone() *Blob {
+	nb := b.Store.Create(b.Size)
+	copy(nb.content, b.content)
+	nb.version = 1
+	return nb
+}
+
+// ContentAt returns the content ID of stripe i.
+func (b *Blob) ContentAt(i int) ContentID { return b.content[i] }
+
+// stripeServer picks the replica server for a read. round rotates the
+// replica choice across successive read requests so repeated reads of the
+// same stripes spread over all replicas deterministically.
+func (b *Blob) stripeServer(i, round int) int {
+	loc := b.loc[i]
+	return loc.servers[(i+round)%len(loc.servers)]
+}
+
+// Read fetches stripes [first, first+count) to the client node, blocking
+// until all data has arrived. It issues one flow per contiguous same-server
+// run (round-robin placement means runs are usually one stripe long, which
+// is exactly what spreads a big read over many servers). Returns the content
+// IDs of the stripes read.
+func (b *Blob) Read(p *sim.Proc, client *fabric.Node, first, count int) []ContentID {
+	if first < 0 || count <= 0 || first+count > len(b.content) {
+		panic(fmt.Sprintf("blob: read [%d,%d) of blob with %d stripes", first, first+count, len(b.content)))
+	}
+	s := b.Store
+	p.Sleep(s.P.MetadataLatency)
+	round := s.nextRead
+	s.nextRead++
+	// Group the stripes by chosen server.
+	perServer := make(map[int]int64)
+	order := make([]int, 0, 4)
+	for i := first; i < first+count; i++ {
+		srv := b.stripeServer(i, round)
+		if _, ok := perServer[srv]; !ok {
+			order = append(order, srv)
+		}
+		perServer[srv] += b.stripeLen(i)
+	}
+	var wg sim.WaitGroup
+	eng := s.Cluster.Eng
+	for _, srv := range order {
+		bytes := float64(perServer[srv])
+		server := s.Servers[srv]
+		wg.Add(1)
+		s.reads++
+		s.readBytes += bytes
+		s.perServer[srv] += bytes
+		s.Cluster.TransferFlowPath(s.Cluster.RemoteReadPath(server, client), bytes, flow.TagRepo, func() {
+			wg.Done(eng)
+		})
+	}
+	wg.Wait(p)
+	out := make([]ContentID, count)
+	copy(out, b.content[first:first+count])
+	return out
+}
+
+// ReadAsync starts fetching stripes [first, first+count) to the client and
+// calls onDone when every byte has arrived. Used by the destination's
+// base-image prefetcher. rateCap > 0 limits aggregate prefetch bandwidth.
+func (b *Blob) ReadAsync(client *fabric.Node, first, count int, rateCap float64, onDone func()) {
+	s := b.Store
+	round := s.nextRead
+	s.nextRead++
+	perServer := make(map[int]int64)
+	order := make([]int, 0, 4)
+	for i := first; i < first+count; i++ {
+		srv := b.stripeServer(i, round)
+		if _, ok := perServer[srv]; !ok {
+			order = append(order, srv)
+		}
+		perServer[srv] += b.stripeLen(i)
+	}
+	remaining := len(order)
+	for _, srv := range order {
+		bytes := float64(perServer[srv])
+		server := s.Servers[srv]
+		s.reads++
+		s.readBytes += bytes
+		s.perServer[srv] += bytes
+		f := &flow.Flow{
+			Links:   s.Cluster.RemoteReadPath(server, client),
+			Size:    bytes,
+			MaxRate: rateCap,
+			Tag:     flow.TagRepo,
+			OnDone: func() {
+				remaining--
+				if remaining == 0 && onDone != nil {
+					onDone()
+				}
+			},
+		}
+		s.Cluster.Net.Start(f)
+	}
+}
+
+// Write publishes new content for stripes [first, first+count): data moves
+// from the client to each stripe's primary server, then the blob's version
+// advances. ids supplies the new content IDs.
+func (b *Blob) Write(p *sim.Proc, client *fabric.Node, first int, ids []ContentID) {
+	count := len(ids)
+	if first < 0 || count == 0 || first+count > len(b.content) {
+		panic(fmt.Sprintf("blob: write [%d,%d) of blob with %d stripes", first, first+count, len(b.content)))
+	}
+	s := b.Store
+	p.Sleep(s.P.MetadataLatency)
+	perServer := make(map[int]int64)
+	order := make([]int, 0, 4)
+	for i := first; i < first+count; i++ {
+		srv := b.loc[i].servers[0]
+		if _, ok := perServer[srv]; !ok {
+			order = append(order, srv)
+		}
+		perServer[srv] += b.stripeLen(i)
+	}
+	var wg sim.WaitGroup
+	eng := s.Cluster.Eng
+	for _, srv := range order {
+		bytes := float64(perServer[srv])
+		server := s.Servers[srv]
+		wg.Add(1)
+		s.Cluster.TransferFlowPath(s.Cluster.RemoteWritePath(client, server), bytes, flow.TagRepo, func() {
+			wg.Done(eng)
+		})
+	}
+	wg.Wait(p)
+	copy(b.content[first:first+count], ids)
+	b.version++
+}
+
+// StripeSpan converts a byte range to the stripe interval covering it.
+func (b *Blob) StripeSpan(off, length int64) (first, count int) {
+	if off < 0 || length <= 0 || off+length > b.Size {
+		panic(fmt.Sprintf("blob: range [%d,%d) outside blob of %d bytes", off, off+length, b.Size))
+	}
+	first = int(off / b.Store.P.StripeSize)
+	last := int((off + length - 1) / b.Store.P.StripeSize)
+	return first, last - first + 1
+}
+
+// ReadRange is Read addressed in bytes instead of stripes.
+func (b *Blob) ReadRange(p *sim.Proc, client *fabric.Node, off, length int64) {
+	first, count := b.StripeSpan(off, length)
+	b.Read(p, client, first, count)
+}
+
+// ReadRangeAsync is ReadAsync addressed in bytes instead of stripes.
+func (b *Blob) ReadRangeAsync(client *fabric.Node, off, length int64, rateCap float64, onDone func()) {
+	first, count := b.StripeSpan(off, length)
+	b.ReadAsync(client, first, count, rateCap, onDone)
+}
+
+// stripeLen returns the byte length of stripe i (the last may be short).
+func (b *Blob) stripeLen(i int) int64 {
+	off := int64(i) * b.Store.P.StripeSize
+	ln := b.Store.P.StripeSize
+	if off+ln > b.Size {
+		ln = b.Size - off
+	}
+	return ln
+}

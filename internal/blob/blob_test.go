@@ -1,0 +1,265 @@
+package blob
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/hybridmig/hybridmig/internal/fabric"
+	"github.com/hybridmig/hybridmig/internal/params"
+	"github.com/hybridmig/hybridmig/internal/sim"
+)
+
+func testStore(nServers int, repl int) (*sim.Engine, *fabric.Cluster, *Store) {
+	eng := sim.New()
+	tb := params.DefaultTestbed()
+	tb.NICBandwidth = 100
+	tb.DiskBandwidth = 50
+	tb.FabricBandwidth = 10000
+	tb.NetLatency = 0
+	tb.DiskLatency = 0
+	c := fabric.NewCluster(eng, nServers+2, tb)
+	rp := params.Repository{StripeSize: 100, Replication: repl, MetadataLatency: 0}
+	st := NewStore(c, c.Nodes[:nServers], rp)
+	return eng, c, st
+}
+
+func TestCreateGeometry(t *testing.T) {
+	_, _, st := testStore(4, 1)
+	b := st.Create(950)
+	if b.Stripes() != 10 {
+		t.Fatalf("stripes = %d, want 10", b.Stripes())
+	}
+	if b.stripeLen(9) != 50 {
+		t.Fatalf("last stripe len = %d, want 50", b.stripeLen(9))
+	}
+	for i := 0; i < 10; i++ {
+		if b.ContentAt(i) != 0 {
+			t.Fatal("fresh blob has nonzero content")
+		}
+	}
+}
+
+func TestPutContentAndClone(t *testing.T) {
+	_, _, st := testStore(4, 1)
+	b := st.Create(400)
+	ids := []ContentID{1, 2, 3, 4}
+	b.PutContent(ids)
+	cl := b.Clone()
+	for i := range ids {
+		if cl.ContentAt(i) != ids[i] {
+			t.Fatal("clone content differs")
+		}
+	}
+	// Clone is independent metadata.
+	cl.content[0] = 99
+	if b.ContentAt(0) != 1 {
+		t.Fatal("clone aliases parent metadata")
+	}
+}
+
+func TestReadReturnsContent(t *testing.T) {
+	eng, c, st := testStore(4, 1)
+	b := st.Create(400)
+	b.PutContent([]ContentID{10, 20, 30, 40})
+	client := c.Nodes[5]
+	var got []ContentID
+	eng.Go("reader", func(p *sim.Proc) {
+		got = b.Read(p, client, 1, 2)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 20 || got[1] != 30 {
+		t.Fatalf("got %v", got)
+	}
+	if st.Reads() == 0 || st.ReadBytes() != 200 {
+		t.Fatalf("accounting: reads=%d bytes=%v", st.Reads(), st.ReadBytes())
+	}
+}
+
+func TestReadSpreadsAcrossServers(t *testing.T) {
+	eng, c, st := testStore(4, 1)
+	b := st.Create(4000) // 40 stripes over 4 servers
+	client := c.Nodes[5]
+	eng.Go("reader", func(p *sim.Proc) {
+		b.Read(p, client, 0, 40)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	per := st.ServerBytes()
+	for i, v := range per {
+		if v != 1000 {
+			t.Fatalf("server %d served %v bytes, want 1000 (balanced)", i, v)
+		}
+	}
+}
+
+func TestStripedReadFasterThanSingleServer(t *testing.T) {
+	// 4 servers with 50 B/s disks, client NIC 100 B/s: a 4000-byte read
+	// striped over 4 servers is bottlenecked by the client NIC (100),
+	// finishing in ~40s, while a single disk would need 80s.
+	eng, c, st := testStore(4, 1)
+	b := st.Create(4000)
+	client := c.Nodes[5]
+	var doneAt sim.Time
+	eng.Go("reader", func(p *sim.Proc) {
+		b.Read(p, client, 0, 40)
+		doneAt = p.Now()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if doneAt > 45 {
+		t.Fatalf("striped read took %v, want ~40 (NIC-bound, not disk-bound)", doneAt)
+	}
+}
+
+func TestConcurrentClientsBalance(t *testing.T) {
+	eng, c, st := testStore(4, 1)
+	b := st.Create(2000)
+	done := 0
+	for i := 0; i < 2; i++ {
+		client := c.Nodes[4+i]
+		eng.Go("reader", func(p *sim.Proc) {
+			b.Read(p, client, 0, 20)
+			done++
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 2 {
+		t.Fatalf("done = %d", done)
+	}
+	per := st.ServerBytes()
+	total := 0.0
+	for _, v := range per {
+		total += v
+	}
+	if total != 4000 {
+		t.Fatalf("total served = %v, want 4000", total)
+	}
+	for i, v := range per {
+		if math.Abs(v-1000) > 1e-9 {
+			t.Fatalf("server %d served %v, want 1000", i, v)
+		}
+	}
+}
+
+func TestReplicatedReadsRotateReplicas(t *testing.T) {
+	eng, c, st := testStore(4, 2)
+	b := st.Create(400) // 4 stripes, each on 2 servers
+	client := c.Nodes[5]
+	eng.Go("reader", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			b.Read(p, client, 0, 4)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// With rotation, every server should have served something.
+	for i, v := range st.ServerBytes() {
+		if v == 0 {
+			t.Fatalf("server %d never used despite replication", i)
+		}
+	}
+}
+
+func TestWriteAdvancesVersion(t *testing.T) {
+	eng, c, st := testStore(4, 1)
+	b := st.Create(400)
+	client := c.Nodes[5]
+	v0 := b.Version()
+	eng.Go("writer", func(p *sim.Proc) {
+		b.Write(p, client, 1, []ContentID{7, 8})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Version() != v0+1 {
+		t.Fatalf("version = %d, want %d", b.Version(), v0+1)
+	}
+	want := []ContentID{0, 7, 8, 0}
+	for i, w := range want {
+		if b.ContentAt(i) != w {
+			t.Fatalf("content[%d] = %d, want %d", i, b.ContentAt(i), w)
+		}
+	}
+}
+
+func TestReadAsyncCompletes(t *testing.T) {
+	eng, c, st := testStore(4, 1)
+	b := st.Create(1000)
+	client := c.Nodes[5]
+	doneAt := sim.Time(-1)
+	b.ReadAsync(client, 0, 10, 0, func() { doneAt = eng.Now() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if doneAt < 0 {
+		t.Fatal("ReadAsync never completed")
+	}
+	if st.ReadBytes() != 1000 {
+		t.Fatalf("read bytes = %v", st.ReadBytes())
+	}
+}
+
+func TestReadAsyncRateCap(t *testing.T) {
+	eng, c, st := testStore(1, 1)
+	b := st.Create(100) // single stripe, single server
+	client := c.Nodes[2]
+	var doneAt sim.Time
+	b.ReadAsync(client, 0, 1, 10, func() { doneAt = eng.Now() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(doneAt-10) > 1e-6 {
+		t.Fatalf("capped prefetch finished at %v, want 10", doneAt)
+	}
+}
+
+// TestReadWriteProperty: arbitrary write sequences produce the content map a
+// reference model predicts.
+func TestReadWriteProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng, c, st := testStore(3, 1)
+		n := 5 + rng.Intn(20)
+		b := st.Create(int64(n) * 100)
+		ref := make([]ContentID, n)
+		client := c.Nodes[4]
+		ok := true
+		eng.Go("driver", func(p *sim.Proc) {
+			for i := 0; i < 30; i++ {
+				first := rng.Intn(n)
+				count := 1 + rng.Intn(n-first)
+				if rng.Intn(2) == 0 {
+					ids := make([]ContentID, count)
+					for j := range ids {
+						ids[j] = ContentID(rng.Uint64())
+						ref[first+j] = ids[j]
+					}
+					b.Write(p, client, first, ids)
+				} else {
+					got := b.Read(p, client, first, count)
+					for j := range got {
+						if got[j] != ref[first+j] {
+							ok = false
+						}
+					}
+				}
+			}
+		})
+		if err := eng.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

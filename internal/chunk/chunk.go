@@ -1,0 +1,363 @@
+// Package chunk provides chunk-granularity building blocks for the
+// migration manager: index arithmetic between byte ranges and chunk indices,
+// dense bitmap sets, per-chunk write counters, and a lazy-deletion priority
+// queue used by the prioritized prefetcher.
+//
+// A virtual disk image of S bytes with chunk size C has ceil(S/C) chunks,
+// numbered from zero. All sets in this package are dense (bitmap-backed)
+// because the image is small relative to memory and most operations touch
+// large contiguous runs.
+package chunk
+
+import (
+	"container/heap"
+	"fmt"
+	"math/bits"
+)
+
+// Idx identifies a chunk within an image.
+type Idx int32
+
+// Range is a byte range [Off, Off+Len) within an image.
+type Range struct {
+	Off int64
+	Len int64
+}
+
+// End returns the exclusive end offset.
+func (r Range) End() int64 { return r.Off + r.Len }
+
+// Empty reports whether the range has zero length.
+func (r Range) Empty() bool { return r.Len <= 0 }
+
+// Geometry describes the chunking of an image.
+type Geometry struct {
+	ImageSize int64 // bytes
+	ChunkSize int64 // bytes per chunk
+}
+
+// NewGeometry validates and returns a Geometry.
+func NewGeometry(imageSize, chunkSize int64) Geometry {
+	if imageSize <= 0 || chunkSize <= 0 {
+		panic(fmt.Sprintf("chunk: invalid geometry (image %d, chunk %d)", imageSize, chunkSize))
+	}
+	return Geometry{ImageSize: imageSize, ChunkSize: chunkSize}
+}
+
+// Chunks returns the number of chunks in the image.
+func (g Geometry) Chunks() int {
+	return int((g.ImageSize + g.ChunkSize - 1) / g.ChunkSize)
+}
+
+// ChunkOf returns the chunk containing byte offset off.
+func (g Geometry) ChunkOf(off int64) Idx {
+	if off < 0 || off >= g.ImageSize {
+		panic(fmt.Sprintf("chunk: offset %d outside image of %d bytes", off, g.ImageSize))
+	}
+	return Idx(off / g.ChunkSize)
+}
+
+// Span returns the half-open chunk interval [first, last] covering r.
+func (g Geometry) Span(r Range) (first, last Idx) {
+	if r.Empty() {
+		panic("chunk: empty range has no span")
+	}
+	if r.Off < 0 || r.End() > g.ImageSize {
+		panic(fmt.Sprintf("chunk: range [%d,%d) outside image of %d bytes", r.Off, r.End(), g.ImageSize))
+	}
+	return Idx(r.Off / g.ChunkSize), Idx((r.End() - 1) / g.ChunkSize)
+}
+
+// ChunkRange returns the byte range of chunk c (the final chunk may be
+// shorter than ChunkSize).
+func (g Geometry) ChunkRange(c Idx) Range {
+	off := int64(c) * g.ChunkSize
+	if off < 0 || off >= g.ImageSize {
+		panic(fmt.Sprintf("chunk: index %d out of image", c))
+	}
+	ln := g.ChunkSize
+	if off+ln > g.ImageSize {
+		ln = g.ImageSize - off
+	}
+	return Range{Off: off, Len: ln}
+}
+
+// ChunkLen returns the byte length of chunk c.
+func (g Geometry) ChunkLen(c Idx) int64 { return g.ChunkRange(c).Len }
+
+// FullyCovers reports whether r covers the whole of chunk c: a write that
+// fully covers a chunk can proceed without read-modify-write.
+func (g Geometry) FullyCovers(r Range, c Idx) bool {
+	cr := g.ChunkRange(c)
+	return r.Off <= cr.Off && r.End() >= cr.End()
+}
+
+// Set is a dense bitmap of chunk indices with a cached population count.
+type Set struct {
+	bits []uint64
+	n    int // chunks representable
+	pop  int
+}
+
+// NewSet returns an empty set sized for n chunks.
+func NewSet(n int) *Set {
+	if n < 0 {
+		panic("chunk: negative set size")
+	}
+	return &Set{bits: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of chunks the set can hold.
+func (s *Set) Len() int { return s.n }
+
+// Count returns the number of chunks present.
+func (s *Set) Count() int { return s.pop }
+
+// Empty reports whether the set has no members.
+func (s *Set) Empty() bool { return s.pop == 0 }
+
+func (s *Set) check(c Idx) {
+	if c < 0 || int(c) >= s.n {
+		panic(fmt.Sprintf("chunk: index %d out of set of %d", c, s.n))
+	}
+}
+
+// Contains reports membership.
+func (s *Set) Contains(c Idx) bool {
+	s.check(c)
+	return s.bits[c>>6]&(1<<(uint(c)&63)) != 0
+}
+
+// Add inserts c; reports whether it was newly added.
+func (s *Set) Add(c Idx) bool {
+	s.check(c)
+	w, b := c>>6, uint64(1)<<(uint(c)&63)
+	if s.bits[w]&b != 0 {
+		return false
+	}
+	s.bits[w] |= b
+	s.pop++
+	return true
+}
+
+// Remove deletes c; reports whether it was present.
+func (s *Set) Remove(c Idx) bool {
+	s.check(c)
+	w, b := c>>6, uint64(1)<<(uint(c)&63)
+	if s.bits[w]&b == 0 {
+		return false
+	}
+	s.bits[w] &^= b
+	s.pop--
+	return true
+}
+
+// AddRange inserts all chunks in [first, last].
+func (s *Set) AddRange(first, last Idx) {
+	for c := first; c <= last; c++ {
+		s.Add(c)
+	}
+}
+
+// Clone returns a deep copy.
+func (s *Set) Clone() *Set {
+	out := &Set{bits: make([]uint64, len(s.bits)), n: s.n, pop: s.pop}
+	copy(out.bits, s.bits)
+	return out
+}
+
+// Clear removes all members.
+func (s *Set) Clear() {
+	for i := range s.bits {
+		s.bits[i] = 0
+	}
+	s.pop = 0
+}
+
+// UnionWith adds every member of other (sets must be the same size).
+func (s *Set) UnionWith(other *Set) {
+	if other.n != s.n {
+		panic("chunk: union of different-sized sets")
+	}
+	pop := 0
+	for i := range s.bits {
+		s.bits[i] |= other.bits[i]
+		pop += bits.OnesCount64(s.bits[i])
+	}
+	s.pop = pop
+}
+
+// ForEach calls fn for each member in ascending order; fn returning false
+// stops iteration early.
+func (s *Set) ForEach(fn func(Idx) bool) {
+	for w, word := range s.bits {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			if !fn(Idx(w*64 + b)) {
+				return
+			}
+			word &^= 1 << uint(b)
+		}
+	}
+}
+
+// Members returns all members in ascending order.
+func (s *Set) Members() []Idx {
+	out := make([]Idx, 0, s.pop)
+	s.ForEach(func(c Idx) bool {
+		out = append(out, c)
+		return true
+	})
+	return out
+}
+
+// NextFrom returns the smallest member >= c, or -1 if none.
+func (s *Set) NextFrom(c Idx) Idx {
+	if c < 0 {
+		c = 0
+	}
+	if int(c) >= s.n {
+		return -1
+	}
+	w := int(c >> 6)
+	word := s.bits[w] >> (uint(c) & 63) << (uint(c) & 63)
+	for {
+		if word != 0 {
+			return Idx(w*64 + bits.TrailingZeros64(word))
+		}
+		w++
+		if w >= len(s.bits) {
+			return -1
+		}
+		word = s.bits[w]
+	}
+}
+
+// NextRunFrom returns the first contiguous run of members starting at or
+// after c, up to maxLen chunks long. Returns (-1, 0) when no member remains.
+// The migration manager uses runs to batch contiguous chunks into single
+// streamed transfers.
+func (s *Set) NextRunFrom(c Idx, maxLen int) (start Idx, length int) {
+	start = s.NextFrom(c)
+	if start < 0 {
+		return -1, 0
+	}
+	length = 1
+	for length < maxLen && int(start)+length < s.n && s.Contains(start+Idx(length)) {
+		length++
+	}
+	return start, length
+}
+
+// Counter tracks per-chunk write counts. Counts saturate at the maximum
+// uint32 rather than wrapping.
+type Counter struct {
+	counts []uint32
+}
+
+// NewCounter returns a zeroed counter for n chunks.
+func NewCounter(n int) *Counter { return &Counter{counts: make([]uint32, n)} }
+
+// Len returns the number of chunks covered.
+func (wc *Counter) Len() int { return len(wc.counts) }
+
+// Get returns the count for chunk c.
+func (wc *Counter) Get(c Idx) uint32 { return wc.counts[c] }
+
+// Inc increments the count for chunk c and returns the new value.
+func (wc *Counter) Inc(c Idx) uint32 {
+	if wc.counts[c] != ^uint32(0) {
+		wc.counts[c]++
+	}
+	return wc.counts[c]
+}
+
+// Reset zeroes all counts.
+func (wc *Counter) Reset() {
+	for i := range wc.counts {
+		wc.counts[i] = 0
+	}
+}
+
+// Snapshot returns a copy of the counts slice.
+func (wc *Counter) Snapshot() []uint32 {
+	out := make([]uint32, len(wc.counts))
+	copy(out, wc.counts)
+	return out
+}
+
+// prioItem is a queue entry: chunk c with priority (count, then lower index
+// first for determinism).
+type prioItem struct {
+	c     Idx
+	count uint32
+}
+
+type prioHeap []prioItem
+
+func (h prioHeap) Len() int { return len(h) }
+func (h prioHeap) Less(i, j int) bool {
+	if h[i].count != h[j].count {
+		return h[i].count > h[j].count // max-heap on count
+	}
+	return h[i].c < h[j].c
+}
+func (h prioHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *prioHeap) Push(x any)   { *h = append(*h, x.(prioItem)) }
+func (h *prioHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// PullQueue orders chunks by decreasing write count, implementing the
+// paper's BACKGROUND PULL priority ("frequently modified chunks will also be
+// modified in the future"). Entries are removed lazily: a membership set is
+// consulted at pop time, so cancellations (writes at the destination) are
+// O(1).
+type PullQueue struct {
+	h       prioHeap
+	members *Set
+}
+
+// NewPullQueue builds a queue over every member of remaining, prioritized by
+// counts. The queue holds a reference to remaining: removing a chunk from
+// the set cancels its queue entry.
+func NewPullQueue(remaining *Set, counts []uint32) *PullQueue {
+	q := &PullQueue{members: remaining}
+	q.h = make(prioHeap, 0, remaining.Count())
+	remaining.ForEach(func(c Idx) bool {
+		q.h = append(q.h, prioItem{c: c, count: counts[c]})
+		return true
+	})
+	heap.Init(&q.h)
+	return q
+}
+
+// Pop returns the highest-priority chunk still in the remaining set, or -1
+// when the queue is exhausted.
+func (q *PullQueue) Pop() Idx {
+	for len(q.h) > 0 {
+		it := heap.Pop(&q.h).(prioItem)
+		if q.members.Contains(it.c) {
+			return it.c
+		}
+	}
+	return -1
+}
+
+// Peek returns the next chunk Pop would return without removing it, or -1.
+func (q *PullQueue) Peek() Idx {
+	for len(q.h) > 0 {
+		if q.members.Contains(q.h[0].c) {
+			return q.h[0].c
+		}
+		heap.Pop(&q.h)
+	}
+	return -1
+}
+
+// Empty reports whether no live entries remain.
+func (q *PullQueue) Empty() bool { return q.Peek() < 0 }

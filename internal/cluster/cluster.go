@@ -1,0 +1,321 @@
+// Package cluster is the cloud middleware of the reproduction: it assembles
+// the testbed (compute nodes, repository, parallel file system), deploys VM
+// instances wired for one of the five compared approaches (Table 1 of the
+// paper), and orchestrates live migrations end to end — the storage
+// manager's MIGRATION REQUEST followed by the hypervisor's memory migration,
+// exactly as Section 4.3 prescribes.
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/hybridmig/hybridmig/internal/blob"
+	"github.com/hybridmig/hybridmig/internal/chunk"
+	"github.com/hybridmig/hybridmig/internal/core"
+	"github.com/hybridmig/hybridmig/internal/fabric"
+	"github.com/hybridmig/hybridmig/internal/guest"
+	"github.com/hybridmig/hybridmig/internal/hv"
+	"github.com/hybridmig/hybridmig/internal/params"
+	"github.com/hybridmig/hybridmig/internal/pfs"
+	"github.com/hybridmig/hybridmig/internal/sim"
+	"github.com/hybridmig/hybridmig/internal/vm"
+)
+
+// Approach names one of the five compared local-storage transfer strategies
+// (Table 1 of the paper).
+type Approach string
+
+// The five approaches of the evaluation.
+const (
+	OurApproach Approach = "our-approach"
+	Mirror      Approach = "mirror"
+	Postcopy    Approach = "postcopy"
+	Precopy     Approach = "precopy"
+	PVFSShared  Approach = "pvfs-shared"
+)
+
+// Approaches lists all five in the paper's presentation order.
+func Approaches() []Approach {
+	return []Approach{OurApproach, Mirror, Postcopy, Precopy, PVFSShared}
+}
+
+// Description returns the Table 1 summary line for the approach.
+func (a Approach) Description() string {
+	switch a {
+	case OurApproach:
+		return "As presented in Section 4.3 (hybrid push/prioritized prefetch)"
+	case Mirror:
+		return "Sync writes both at src and dest"
+	case Postcopy:
+		return "Pull from src after transfer of control"
+	case Precopy:
+		return "Push to dest before transfer of control"
+	case PVFSShared:
+		return "Does not apply (All writes go to PVFS)"
+	}
+	return "unknown"
+}
+
+// coreMode maps an approach to a migration-manager mode.
+func (a Approach) coreMode() (core.Mode, bool) {
+	switch a {
+	case OurApproach:
+		return core.ModeHybrid, true
+	case Mirror:
+		return core.ModeMirror, true
+	case Postcopy:
+		return core.ModePostcopy, true
+	}
+	return 0, false
+}
+
+// Config assembles every knob of a testbed.
+type Config struct {
+	Nodes      int // compute nodes (repository/PFS servers ride on them, as in the paper)
+	Testbed    params.Testbed
+	HV         params.Hypervisor
+	Guest      params.Guest
+	Manager    params.Manager
+	Repo       params.Repository
+	Experiment params.Experiment
+	// BootRead is how much base-image content each instance reads at launch
+	// (OS boot + warm-up), which seeds the hot-base-content hints.
+	BootRead int64
+	// ManagerOverride, when non-nil, replaces the manager options derived
+	// from Manager (used by ablations).
+	ManagerOverride *core.Options
+}
+
+// DefaultConfig returns the paper's testbed at the given node count.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:      nodes,
+		Testbed:    params.DefaultTestbed(),
+		HV:         params.DefaultHypervisor(),
+		Guest:      params.DefaultGuest(),
+		Manager:    params.DefaultManager(),
+		Repo:       params.DefaultRepository(),
+		Experiment: params.DefaultExperiment(),
+		BootRead:   192 * params.MB,
+	}
+}
+
+// SmallConfig returns a miniature testbed (256 MB images, 512 MB RAM) that
+// preserves all the ratios of DefaultConfig. Tests and smoke runs use it to
+// keep simulations fast while exercising the same code paths.
+func SmallConfig(nodes int) Config {
+	cfg := DefaultConfig(nodes)
+	cfg.Testbed.ImageSize = 256 * params.MB
+	cfg.Testbed.RAM = 512 * params.MB
+	cfg.HV.BootedFootprint = 64 * params.MB
+	cfg.Guest.DirtyLimit = 48 * params.MB
+	cfg.Guest.CacheRegion = 160 * params.MB
+	cfg.BootRead = 24 * params.MB
+	return cfg
+}
+
+// Testbed is a fully assembled simulated datacenter.
+type Testbed struct {
+	Eng  *sim.Engine
+	Cl   *fabric.Cluster
+	Repo *blob.Store
+	PFS  *pfs.FS
+	Cfg  Config
+
+	baseBlob  *blob.Blob
+	basePFS   *pfs.File
+	geo       chunk.Geometry
+	instances []*Instance
+}
+
+// New builds the testbed: BlobSeer and PVFS both span all compute nodes, as
+// in Section 5.2, and the 4 GB base image is installed in both.
+func New(cfg Config) *Testbed {
+	eng := sim.New()
+	cl := fabric.NewCluster(eng, cfg.Nodes, cfg.Testbed)
+	repo := blob.NewStore(cl, cl.Nodes, cfg.Repo)
+	fs := pfs.NewFS(cl, cl.Nodes, pfs.Params{
+		StripeSize:      cfg.Repo.StripeSize,
+		MetadataLatency: cfg.Repo.MetadataLatency,
+	})
+	tb := &Testbed{
+		Eng:  eng,
+		Cl:   cl,
+		Repo: repo,
+		PFS:  fs,
+		Cfg:  cfg,
+		geo:  chunk.NewGeometry(cfg.Testbed.ImageSize, cfg.Testbed.ChunkSize),
+	}
+	tb.baseBlob = repo.Create(cfg.Testbed.ImageSize)
+	ids := make([]blob.ContentID, tb.baseBlob.Stripes())
+	for i := range ids {
+		ids[i] = blob.ContentID(1_000_000 + i) // distinct base content
+	}
+	tb.baseBlob.PutContent(ids)
+	tb.basePFS = fs.Create("base.img", cfg.Testbed.ImageSize)
+	pids := make([]pfs.ContentID, tb.basePFS.Stripes())
+	for i := range pids {
+		pids[i] = pfs.ContentID(1_000_000 + i)
+	}
+	tb.basePFS.PutContent(pids)
+	return tb
+}
+
+// Geometry returns the image chunking.
+func (tb *Testbed) Geometry() chunk.Geometry { return tb.geo }
+
+// Instance is one deployed VM with its full stack.
+type Instance struct {
+	Name     string
+	Approach Approach
+	VM       *vm.VM
+	Guest    *guest.Guest
+
+	// Exactly one of these backs the instance, depending on the approach.
+	Core   *core.Image
+	COW    *hv.COWImage
+	Shared *pfs.File // pvfs-shared snapshot file
+
+	sharedImg *hv.SharedImage
+
+	// Migration measurements (filled by MigrateInstance).
+	Migrated      bool
+	MigrationTime float64
+	HVResult      hv.Result
+	CoreStats     core.Stats
+	Done          sim.Gate
+}
+
+// managerOptions derives core options from the config.
+func (tb *Testbed) managerOptions(mode core.Mode) core.Options {
+	if tb.Cfg.ManagerOverride != nil {
+		o := *tb.Cfg.ManagerOverride
+		o.Mode = mode
+		return o
+	}
+	m := tb.Cfg.Manager
+	return core.Options{
+		Mode:               mode,
+		Threshold:          m.Threshold,
+		PushBatch:          m.PushBatch,
+		PullBatch:          m.PullBatch,
+		PullPriority:       true,
+		PullRequestLatency: m.PullRequestLatency,
+		BasePrefetch:       m.BasePrefetch,
+		BasePrefetchRate:   m.BasePrefetchRate,
+		DedupHashBytes:     1024,
+	}
+}
+
+// Launch deploys an instance of the given approach on node nodeIdx. The
+// returned instance's guest is ready; its boot read runs as a process and
+// completes within the warm-up period.
+func (tb *Testbed) Launch(name string, nodeIdx int, approach Approach) *Instance {
+	node := tb.Cl.Nodes[nodeIdx]
+	cfg := tb.Cfg
+	mem := vm.NewMemory(cfg.Testbed.RAM, cfg.HV.MemPageSize)
+	mem.Alloc(cfg.HV.BootedFootprint, true) // kernel + userland
+	v := vm.New(tb.Eng, name, node, mem, 2)
+
+	inst := &Instance{Name: name, Approach: approach, VM: v}
+	raw := &guest.RawDisk{Cl: tb.Cl, Node: func() *fabric.Node { return v.Node }, Geo: tb.geo}
+	gopts := guest.Options{HostCache: true, Buffered: true, Inner: raw}
+	switch approach {
+	case OurApproach, Mirror, Postcopy:
+		mode, _ := approach.coreMode()
+		gopts.MakeImage = func(backing vm.DiskImage) vm.DiskImage {
+			inst.Core = core.NewImage(tb.Eng, tb.Cl, node, tb.geo, tb.baseBlob,
+				backing, tb.managerOptions(mode), name)
+			return inst.Core
+		}
+	case Precopy:
+		gopts.MakeImage = func(backing vm.DiskImage) vm.DiskImage {
+			inst.COW = hv.NewCOWImage(tb.Cl, node, tb.geo, tb.basePFS, backing)
+			return inst.COW
+		}
+	case PVFSShared:
+		snap := tb.PFS.Create(name+".qcow2", cfg.Testbed.ImageSize)
+		inst.Shared = snap
+		inst.sharedImg = hv.NewSharedImage(tb.Cl, node, tb.geo, tb.basePFS, snap)
+		gopts.HostCache = false // shared-storage migration mandates cache=none
+		gopts.MakeImage = func(vm.DiskImage) vm.DiskImage { return inst.sharedImg }
+	default:
+		panic(fmt.Sprintf("cluster: unknown approach %q", approach))
+	}
+	inst.Guest = guest.New(tb.Eng, v, cfg.Guest, gopts)
+	if inst.Core != nil {
+		// Chunks installed at the destination transit its host RAM and are
+		// therefore cache-warm there.
+		inst.Core.OnDestInstall = inst.Guest.Cache.MarkCachedRange
+	}
+
+	if cfg.BootRead > 0 {
+		tb.Eng.Go(name+"/boot", func(p *sim.Proc) {
+			osOff, osEnd := inst.Guest.FS.OSArea()
+			span := osEnd - osOff
+			boot := cfg.BootRead
+			if boot > span {
+				boot = span
+			}
+			inst.Guest.FS.ReadRaw(p, osOff, boot)
+		})
+	}
+	tb.instances = append(tb.instances, inst)
+	return inst
+}
+
+// Instances returns all deployed instances.
+func (tb *Testbed) Instances() []*Instance { return tb.instances }
+
+// MigrateInstance live-migrates inst to the node at dstIdx, blocking until
+// the migration fully completes per the approach's own definition of
+// migration time (Section 5.2): control transfer for precopy, mirror and
+// pvfs-shared; source release for our-approach and postcopy.
+func (tb *Testbed) MigrateInstance(p *sim.Proc, inst *Instance, dstIdx int) {
+	dst := tb.Cl.Nodes[dstIdx]
+	start := tb.Eng.Now()
+	// Host-side migration work steals guest CPU for as long as the VM's
+	// host is involved in transfers (Section 2's "impact on application
+	// performance" is precisely this resource consumption).
+	inst.VM.SetCPUSteal(tb.Cfg.HV.CPUSteal)
+	defer inst.VM.SetCPUSteal(0)
+	switch inst.Approach {
+	case OurApproach, Postcopy, Mirror:
+		inst.Core.MigrationRequest(dst)
+		var stopGate *sim.Gate
+		if inst.Approach == Mirror {
+			stopGate = inst.Core.BulkDoneGate()
+		}
+		inst.HVResult = hv.Migrate(p, tb.Cl, inst.VM, dst, tb.Cfg.HV, nil, stopGate)
+		// The destination host cache starts cold except for the content the
+		// migration itself moved through its RAM.
+		inst.Guest.Cache.Invalidate()
+		inst.Core.ForEachLocalRange(inst.Guest.Cache.MarkCachedRange)
+		inst.Core.WaitComplete(p)
+		inst.CoreStats = inst.Core.Stats()
+		if inst.Approach == Mirror {
+			inst.MigrationTime = inst.HVResult.ControlTransfer - start
+		} else {
+			// Until every resource is available at the destination: the
+			// later of source release (storage) and control transfer
+			// (memory), per the Section 2 definition.
+			end := inst.CoreStats.ReleasedAt
+			if inst.HVResult.ControlTransfer > end {
+				end = inst.HVResult.ControlTransfer
+			}
+			inst.MigrationTime = end - start
+		}
+	case Precopy:
+		inst.HVResult = hv.Migrate(p, tb.Cl, inst.VM, dst, tb.Cfg.HV, inst.COW, nil)
+		inst.COW.MoveTo(dst)
+		inst.Guest.Cache.Invalidate()
+		inst.COW.ForEachLocalRange(inst.Guest.Cache.MarkCachedRange)
+		inst.MigrationTime = inst.HVResult.ControlTransfer - start
+	case PVFSShared:
+		inst.HVResult = hv.Migrate(p, tb.Cl, inst.VM, dst, tb.Cfg.HV, nil, nil)
+		inst.sharedImg.MoveTo(dst)
+		inst.MigrationTime = inst.HVResult.ControlTransfer - start
+	}
+	inst.Migrated = true
+	inst.Done.Open(tb.Eng)
+}

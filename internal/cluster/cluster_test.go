@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/hybridmig/hybridmig/internal/flow"
+	"github.com/hybridmig/hybridmig/internal/params"
+	"github.com/hybridmig/hybridmig/internal/sim"
+)
+
+func smallTB() *Testbed {
+	return New(SmallConfig(6))
+}
+
+func TestLaunchAllApproaches(t *testing.T) {
+	tb := smallTB()
+	for i, a := range Approaches() {
+		inst := tb.Launch(string(a), i, a)
+		if inst.VM == nil || inst.Guest == nil {
+			t.Fatalf("%s: incomplete instance", a)
+		}
+	}
+	// Run the boot reads to completion.
+	if err := tb.Eng.RunUntil(1e5); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Repo.ReadBytes() == 0 {
+		t.Fatal("boot reads never hit the repository")
+	}
+	tb.Eng.Shutdown()
+	if len(tb.Instances()) != 5 {
+		t.Fatalf("instances = %d", len(tb.Instances()))
+	}
+}
+
+func TestGuestIOWorksPerApproach(t *testing.T) {
+	for _, a := range Approaches() {
+		a := a
+		t.Run(string(a), func(t *testing.T) {
+			tb := smallTB()
+			inst := tb.Launch("vm0", 0, a)
+			doneWrite := false
+			tb.Eng.Go("io", func(p *sim.Proc) {
+				f := inst.Guest.FS.Create("data", 16*params.MB)
+				inst.Guest.FS.Write(p, f, 0, 16*params.MB)
+				inst.Guest.FS.Read(p, f, 0, 16*params.MB)
+				doneWrite = true
+			})
+			if err := tb.Eng.RunUntil(1e5); err != nil {
+				t.Fatal(err)
+			}
+			tb.Eng.Shutdown()
+			if !doneWrite {
+				t.Fatal("guest I/O never completed")
+			}
+		})
+	}
+}
+
+func TestMigrateEachApproach(t *testing.T) {
+	for _, a := range Approaches() {
+		a := a
+		t.Run(string(a), func(t *testing.T) {
+			tb := smallTB()
+			inst := tb.Launch("vm0", 0, a)
+			tb.Eng.Go("workload", func(p *sim.Proc) {
+				f := inst.Guest.FS.Create("data", 64*params.MB)
+				for i := 0; i < 8; i++ {
+					inst.Guest.FS.Write(p, f, int64(i)*8*params.MB, 8*params.MB)
+					p.Sleep(0.5)
+				}
+			})
+			tb.Eng.Go("middleware", func(p *sim.Proc) {
+				p.Sleep(2) // mid-workload
+				tb.MigrateInstance(p, inst, 1)
+			})
+			if err := tb.Eng.RunUntil(1e5); err != nil {
+				t.Fatal(err)
+			}
+			tb.Eng.Shutdown()
+			if !inst.Migrated {
+				t.Fatal("migration never completed")
+			}
+			if inst.VM.Node != tb.Cl.Nodes[1] {
+				t.Fatal("VM not on destination")
+			}
+			if inst.MigrationTime <= 0 {
+				t.Fatalf("migration time = %v", inst.MigrationTime)
+			}
+			if inst.HVResult.MemoryBytes <= 0 {
+				t.Fatal("no memory was migrated")
+			}
+			net := tb.Cl.Net
+			switch a {
+			case OurApproach:
+				if net.BytesByTag(flow.TagStoragePush) == 0 {
+					t.Error("our-approach produced no push traffic")
+				}
+			case Postcopy:
+				if net.BytesByTag(flow.TagStoragePush) != 0 {
+					t.Error("postcopy produced push traffic")
+				}
+				if net.BytesByTag(flow.TagStoragePull) == 0 {
+					t.Error("postcopy produced no pull traffic")
+				}
+			case Mirror:
+				if net.BytesByTag(flow.TagMirror) == 0 {
+					t.Error("mirror produced no mirror traffic")
+				}
+			case Precopy:
+				if net.BytesByTag(flow.TagBlockMig) == 0 {
+					t.Error("precopy produced no block-migration traffic")
+				}
+			case PVFSShared:
+				if net.BytesByTag(flow.TagStoragePush)+net.BytesByTag(flow.TagStoragePull)+
+					net.BytesByTag(flow.TagBlockMig)+net.BytesByTag(flow.TagMirror) != 0 {
+					t.Error("pvfs-shared moved storage during migration")
+				}
+				if net.BytesByTag(flow.TagPFS) == 0 {
+					t.Error("pvfs-shared produced no PFS traffic")
+				}
+			}
+		})
+	}
+}
+
+func TestMigrationTimeDefinitions(t *testing.T) {
+	// our-approach counts until source release (>= control transfer);
+	// mirror counts until control transfer only.
+	for _, a := range []Approach{OurApproach, Mirror} {
+		tb := smallTB()
+		inst := tb.Launch("vm0", 0, a)
+		tb.Eng.Go("workload", func(p *sim.Proc) {
+			f := inst.Guest.FS.Create("data", 64*params.MB)
+			inst.Guest.FS.Write(p, f, 0, 64*params.MB)
+		})
+		tb.Eng.Go("middleware", func(p *sim.Proc) {
+			p.Sleep(1)
+			tb.MigrateInstance(p, inst, 1)
+		})
+		if err := tb.Eng.RunUntil(1e5); err != nil {
+			t.Fatal(err)
+		}
+		tb.Eng.Shutdown()
+		ctrl := inst.HVResult.ControlTransfer - inst.CoreStats.RequestedAt
+		switch a {
+		case OurApproach:
+			if inst.MigrationTime < ctrl {
+				t.Errorf("our-approach migration time %v < control transfer %v", inst.MigrationTime, ctrl)
+			}
+		case Mirror:
+			if inst.MigrationTime > ctrl+1e-9 {
+				t.Errorf("mirror migration time %v > control transfer %v", inst.MigrationTime, ctrl)
+			}
+		}
+	}
+}
+
+func TestSuccessiveMigrationsOfDifferentVMs(t *testing.T) {
+	tb := smallTB()
+	a := OurApproach
+	i1 := tb.Launch("vm1", 0, a)
+	i2 := tb.Launch("vm2", 1, a)
+	tb.Eng.Go("wl1", func(p *sim.Proc) {
+		f := i1.Guest.FS.Create("d", 32*params.MB)
+		i1.Guest.FS.Write(p, f, 0, 32*params.MB)
+	})
+	tb.Eng.Go("wl2", func(p *sim.Proc) {
+		f := i2.Guest.FS.Create("d", 32*params.MB)
+		i2.Guest.FS.Write(p, f, 0, 32*params.MB)
+	})
+	tb.Eng.Go("middleware", func(p *sim.Proc) {
+		p.Sleep(1)
+		tb.MigrateInstance(p, i1, 2)
+		p.Sleep(1)
+		tb.MigrateInstance(p, i2, 3)
+	})
+	if err := tb.Eng.RunUntil(1e5); err != nil {
+		t.Fatal(err)
+	}
+	tb.Eng.Shutdown()
+	if !i1.Migrated || !i2.Migrated {
+		t.Fatal("migrations incomplete")
+	}
+	if i1.VM.Node != tb.Cl.Nodes[2] || i2.VM.Node != tb.Cl.Nodes[3] {
+		t.Fatal("VMs on wrong nodes")
+	}
+}
+
+func TestTable1Descriptions(t *testing.T) {
+	for _, a := range Approaches() {
+		if a.Description() == "unknown" {
+			t.Fatalf("approach %s has no description", a)
+		}
+	}
+	if len(Approaches()) != 5 {
+		t.Fatal("the paper compares exactly five approaches")
+	}
+}

@@ -1,0 +1,489 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/hybridmig/hybridmig/internal/chunk"
+	"github.com/hybridmig/hybridmig/internal/fabric"
+	"github.com/hybridmig/hybridmig/internal/flow"
+	"github.com/hybridmig/hybridmig/internal/sim"
+)
+
+// MigrationRequest implements Algorithm 1: the manager assumes the source
+// role, queues every locally modified chunk for transfer, resets write
+// counts, and (hybrid mode) starts the BACKGROUND PUSH task. The caller then
+// forwards the migration request to the hypervisor (hv.Migrate), whose sync
+// triggers the transfer of I/O control.
+func (im *Image) MigrationRequest(dstNode *fabric.Node) {
+	if im.state != stIdle {
+		panic(fmt.Sprintf("core: %s: migration requested while one is active", im.name))
+	}
+	n := im.geo.Chunks()
+	im.dstNode = dstNode
+	im.dst = newSide(dstNode, n)
+	im.remaining = im.cur.modified.Clone()
+	im.writeCount = chunk.NewCounter(n)
+	im.state = stPushing
+	im.syncSeen = false
+	im.pushAborted = false
+	im.released = sim.Gate{}
+	im.bulkDone = sim.Gate{}
+	im.inFlight = chunk.NewSet(n)
+	im.dstFresh = chunk.NewSet(n)
+	im.known = make(map[uint64]bool)
+	im.stats = Stats{RequestedAt: im.eng.Now()}
+
+	switch im.opts.Mode {
+	case ModeHybrid:
+		im.mirrorActive = false
+		im.startPush()
+	case ModeMirror:
+		im.mirrorActive = true
+		im.startBulkCopy()
+	case ModePostcopy:
+		im.mirrorActive = false // passive push phase
+	}
+}
+
+// startPush launches the BACKGROUND PUSH task of Algorithm 1.
+func (im *Image) startPush() {
+	im.pushProcUp = true
+	im.eng.Go(im.name+"/push", func(p *sim.Proc) {
+		defer func() { im.pushProcUp = false }()
+		src := im.cur
+		cursor := chunk.Idx(0)
+		for !im.syncSeen {
+			batch := im.nextPushBatch(&cursor)
+			if len(batch) == 0 {
+				if im.eligiblePushExists() {
+					continue // cursor wrapped; rescan
+				}
+				im.pushCond.Wait(p)
+				continue
+			}
+			// Remove before sending (Algorithm 1 line 18); re-added by
+			// WRITE if modified mid-flight.
+			for _, c := range batch {
+				im.remaining.Remove(c)
+			}
+			snapshot := make([]uint64, len(batch))
+			for i, c := range batch {
+				snapshot[i] = src.content[c]
+			}
+			wire := im.wireBytes(p, batch, snapshot)
+			im.pushBatch = batch
+			im.pushFlow = im.cl.TransferFlowPath(
+				im.streamPath(src.node, im.dstNode), wire, flow.TagStoragePush, nil)
+			im.pushFlow.Wait(p)
+			aborted := im.pushAborted
+			im.pushFlow = nil
+			im.pushBatch = nil
+			if aborted {
+				return
+			}
+			im.stats.PushedBytes += wire
+			im.stats.PushedChunks += len(batch)
+			for i, c := range batch {
+				im.installAtDest(c, snapshot[i])
+			}
+		}
+	})
+}
+
+// nextPushBatch collects up to PushBatch eligible chunks scanning upward
+// from the cursor (eligible: queued and written fewer than Threshold times).
+func (im *Image) nextPushBatch(cursor *chunk.Idx) []chunk.Idx {
+	var batch []chunk.Idx
+	c := *cursor
+	for len(batch) < im.opts.PushBatch {
+		c = im.remaining.NextFrom(c)
+		if c < 0 {
+			break
+		}
+		if im.writeCount.Get(c) < im.opts.Threshold {
+			batch = append(batch, c)
+		}
+		c++
+	}
+	if c < 0 {
+		*cursor = 0 // wrapped
+	} else {
+		*cursor = c
+	}
+	return batch
+}
+
+// eligiblePushExists reports whether any queued chunk is still under the
+// threshold.
+func (im *Image) eligiblePushExists() bool {
+	found := false
+	im.remaining.ForEach(func(c chunk.Idx) bool {
+		if im.writeCount.Get(c) < im.opts.Threshold {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// startBulkCopy launches the mirror baseline's background full copy of the
+// current modified set.
+func (im *Image) startBulkCopy() {
+	im.eng.Go(im.name+"/bulk", func(p *sim.Proc) {
+		src := im.cur
+		todo := im.remaining // snapshot of modified chunks at request time
+		cursor := chunk.Idx(0)
+		for {
+			// The mirror baseline's bulk copy is a sequence of synchronous
+			// remote writes (each acknowledged), not a stream: it pays the
+			// same per-request overhead as pulls.
+			start, n := todo.NextRunFrom(cursor, im.opts.PullBatch)
+			if start < 0 {
+				break
+			}
+			batch := make([]chunk.Idx, 0, n)
+			snapshot := make([]uint64, 0, n)
+			for i := 0; i < n; i++ {
+				c := start + chunk.Idx(i)
+				todo.Remove(c)
+				batch = append(batch, c)
+				snapshot = append(snapshot, src.content[c])
+			}
+			wire := im.wireBytes(p, batch, snapshot)
+			p.Sleep(im.opts.PullRequestLatency + 2*im.cl.P.NetLatency)
+			im.cl.Net.Transfer(p, im.streamPath(src.node, im.dstNode), wire, flow.TagMirror)
+			im.stats.MirroredBytes += wire
+			for i, c := range batch {
+				im.installAtDest(c, snapshot[i])
+			}
+			cursor = start + chunk.Idx(n)
+		}
+		im.bulkDone.Open(im.eng)
+	})
+}
+
+// wireBytes returns the bytes to put on the wire for a batch, applying
+// dedup and compression options, charging compression CPU time.
+func (im *Image) wireBytes(p *sim.Proc, batch []chunk.Idx, snapshot []uint64) float64 {
+	var payload float64
+	for i, c := range batch {
+		if im.opts.Dedup {
+			if im.known[snapshot[i]] {
+				im.stats.DedupHits++
+				payload += float64(im.opts.DedupHashBytes)
+				continue
+			}
+			im.known[snapshot[i]] = true // in transit: later duplicates dedup
+		}
+		payload += float64(im.geo.ChunkLen(c))
+	}
+	if r := im.opts.CompressionRatio; r > 0 && r < 1 {
+		if im.opts.CompressBW > 0 {
+			p.Sleep(payload / im.opts.CompressBW)
+		}
+		payload *= r
+	}
+	return payload
+}
+
+// installAtDest records that a chunk's content has landed on the
+// destination's local disk. Content that reached the destination through a
+// fresher path (mirrored or destination-local write) always wins.
+func (im *Image) installAtDest(c chunk.Idx, content uint64) {
+	if im.dst == nil || im.dstFresh.Contains(c) {
+		return
+	}
+	im.dst.local.Add(c)
+	im.dst.modified.Add(c) // differs from the base image on this side too
+	im.dst.content[c] = content
+	im.known[content] = true
+	im.notifyInstall(c, c)
+}
+
+// notifyInstall reports a destination install to the orchestrator hook.
+func (im *Image) notifyInstall(first, last chunk.Idx) {
+	if im.OnDestInstall == nil {
+		return
+	}
+	r1 := im.geo.ChunkRange(first)
+	r2 := im.geo.ChunkRange(last)
+	im.OnDestInstall(r1.Off, r2.End()-r1.Off)
+}
+
+// streamPath is the transfer path for migration streams. Chunk content is
+// served from (and lands in) the hosts' page caches — the image is small
+// relative to host RAM — so streams are network-bound; physical-disk drain
+// is modeled separately by the cache writeback.
+func (im *Image) streamPath(src, dst *fabric.Node) []*flow.Link {
+	return im.cl.NetPath(src, dst)
+}
+
+// Sync implements vm.DiskImage. Outside a migration it is a plain flush.
+// During one, it is the control-transfer hook (Section 4.4): the source
+// stops pushing, waits for in-flight writes, and invokes TRANSFER IO CONTROL
+// on the destination. When Sync returns, guest I/O lands on the destination.
+func (im *Image) Sync(p *sim.Proc) {
+	if im.state != stPushing {
+		if im.backing != nil {
+			im.backing.Sync(p)
+		}
+		return
+	}
+	im.syncSeen = true
+	// Drain guest writes already in flight (the VM is paused; no new ones).
+	// The backing store is NOT flushed here: the manager tracks every write
+	// itself and the source keeps serving pulls from its cache until
+	// released, so the handoff does not wait on physical writeback (the
+	// paper's manager likewise acknowledges the hypervisor's sync without
+	// draining the disk).
+	im.activeWrites.Wait(p)
+
+	if im.mirrorActive {
+		// Mirror semantics: control transfer requires full synchronization.
+		im.bulkDone.Wait(p)
+		im.cl.ControlRTT(p)
+		im.finishMirror()
+		return
+	}
+
+	// Abort the in-flight push batch, if any: its chunks go back to the
+	// remaining set (partial batch data is discarded — correctness comes
+	// from the pull phase).
+	if im.pushFlow != nil {
+		im.pushAborted = true
+		im.cl.Net.Cancel(im.pushFlow)
+		for _, c := range im.pushBatch {
+			im.remaining.Add(c)
+			im.stats.CanceledPushes++
+		}
+	}
+	im.pushCond.Broadcast(im.eng) // release a waiting push loop so it exits
+
+	// Count the chunks the threshold kept away from the push phase.
+	im.remaining.ForEach(func(c chunk.Idx) bool {
+		if im.writeCount.Get(c) >= im.opts.Threshold {
+			im.stats.SkippedHot++
+		}
+		return true
+	})
+
+	// TRANSFER IO CONTROL: ship the remaining set, write counts, and the
+	// hot-base-content hints to the destination.
+	im.cl.ControlRTT(p)
+	im.transferIOControl()
+}
+
+// finishMirror completes a mirror migration at control transfer: the
+// destination holds everything, the source is released immediately.
+func (im *Image) finishMirror() {
+	now := im.eng.Now()
+	im.stats.ControlAt = now
+	im.stats.ReleasedAt = now
+	im.stats.Complete = true
+	im.promoteDest()
+	im.state = stIdle
+	im.mirrorActive = false
+	im.released.Open(im.eng)
+}
+
+// transferIOControl implements Algorithm 3's destination activation.
+func (im *Image) transferIOControl() {
+	im.stats.ControlAt = im.eng.Now()
+	// Hints: base-image content the source had cached (hot base content).
+	var hints []chunk.Idx
+	if im.opts.BasePrefetch {
+		im.cur.local.ForEach(func(c chunk.Idx) bool {
+			if !im.cur.modified.Contains(c) {
+				hints = append(hints, c)
+			}
+			return true
+		})
+	}
+	counts := im.writeCount.Snapshot()
+	if !im.opts.PullPriority {
+		counts = make([]uint32, len(counts)) // FIFO ablation: flat priority
+	}
+	im.promoteDest()
+	im.state = stPulling
+	im.pullGates = make(map[chunk.Idx]*sim.Gate)
+	im.pullQueue = chunk.NewPullQueue(im.remaining, counts)
+	im.startPull()
+	if len(hints) > 0 {
+		im.startBasePrefetch(hints)
+	}
+	im.maybeComplete()
+}
+
+// promoteDest makes the destination the active side.
+func (im *Image) promoteDest() {
+	im.old = im.cur
+	im.cur = im.dst
+	im.dst = nil
+}
+
+// startPull launches BACKGROUND PULL (Algorithm 3): prefetch remaining
+// chunks in decreasing write-count order, batching for streaming.
+func (im *Image) startPull() {
+	im.eng.Go(im.name+"/pull", func(p *sim.Proc) {
+		for {
+			for im.pullSuspend > 0 {
+				im.pullResume.Wait(p)
+			}
+			first := im.pullQueue.Pop()
+			if first < 0 {
+				break
+			}
+			batch := []chunk.Idx{first}
+			for len(batch) < im.opts.PullBatch {
+				c := im.pullQueue.Pop()
+				if c < 0 {
+					break
+				}
+				batch = append(batch, c)
+			}
+			im.pullChunks(p, batch, false)
+		}
+		im.maybeComplete()
+	})
+}
+
+// pullChunks transfers a set of remaining chunks from the relinquished
+// source. onDemand marks priority pulls triggered by guest I/O.
+func (im *Image) pullChunks(p *sim.Proc, batch []chunk.Idx, onDemand bool) {
+	src := im.old
+	gate := &sim.Gate{}
+	for _, c := range batch {
+		im.remaining.Remove(c)
+		im.inFlight.Add(c)
+		im.pullGates[c] = gate
+	}
+	snapshot := make([]uint64, len(batch))
+	for i, c := range batch {
+		snapshot[i] = src.content[c]
+	}
+	wire := im.wireBytes(p, batch, snapshot)
+	im.pullsActive++
+	// Pulls are request/response: each pays service latency at the source
+	// in addition to the network round trip, unlike the streaming push.
+	p.Sleep(im.opts.PullRequestLatency + 2*im.cl.P.NetLatency)
+	im.cl.Net.Transfer(p, im.streamPath(src.node, im.cur.node), wire, flow.TagStoragePull)
+	im.pullsActive--
+	if onDemand {
+		im.stats.OnDemandBytes += wire
+		im.stats.OnDemandPulls += len(batch)
+	} else {
+		im.stats.PulledBytes += wire
+		im.stats.PulledChunks += len(batch)
+	}
+	for i, c := range batch {
+		im.inFlight.Remove(c)
+		delete(im.pullGates, c)
+		if im.dstFresh.Contains(c) {
+			continue // a destination write superseded the pull mid-flight
+		}
+		im.cur.local.Add(c)
+		im.cur.modified.Add(c)
+		im.cur.content[c] = snapshot[i]
+		im.known[snapshot[i]] = true
+		im.notifyInstall(c, c)
+	}
+	gate.Open(im.eng)
+	im.maybeComplete()
+}
+
+// onDemandPull serves a guest access to chunks still owed by the source
+// (Algorithm 4): suspend the background prefetcher, pull with priority,
+// resume. Chunks already in flight are awaited instead of re-pulled.
+func (im *Image) onDemandPull(p *sim.Proc, first, last chunk.Idx) {
+	for {
+		var need []chunk.Idx
+		var awaitGate *sim.Gate
+		for c := first; c <= last; c++ {
+			switch {
+			case im.remaining.Contains(c):
+				need = append(need, c)
+			case im.inFlight.Contains(c):
+				awaitGate = im.pullGates[c]
+			}
+		}
+		if len(need) == 0 && awaitGate == nil {
+			return
+		}
+		if len(need) > 0 {
+			im.pullSuspend++
+			im.pullChunks(p, need, true)
+			im.pullSuspend--
+			im.pullResume.Broadcast(im.eng)
+			continue // re-check: writes may have raced
+		}
+		awaitGate.Wait(p)
+	}
+}
+
+// startBasePrefetch fetches hot base-image content from the repository in
+// the background (never from the source), rate-capped so it does not starve
+// the pulls.
+func (im *Image) startBasePrefetch(hints []chunk.Idx) {
+	im.eng.Go(im.name+"/baseprefetch", func(p *sim.Proc) {
+		dest := im.cur
+		for i := 0; i < len(hints); {
+			// Coalesce a contiguous run of hinted chunks.
+			j := i
+			for j+1 < len(hints) && hints[j+1] == hints[j]+1 {
+				j++
+			}
+			first, last := hints[i], hints[j]
+			i = j + 1
+			// Skip chunks that arrived some other way meanwhile.
+			for first <= last && (dest.local.Contains(first) || dest.modified.Contains(first)) {
+				first++
+			}
+			if first > last {
+				continue
+			}
+			r1 := im.geo.ChunkRange(first)
+			r2 := im.geo.ChunkRange(last)
+			length := r2.End() - r1.Off
+			done := &sim.Gate{}
+			im.base.ReadRangeAsync(dest.node, r1.Off, length, im.opts.BasePrefetchRate,
+				func() { done.Open(im.eng) })
+			done.Wait(p)
+			im.stats.PrefetchBytes += float64(length)
+			for c := first; c <= last; c++ {
+				if !dest.modified.Contains(c) {
+					dest.local.Add(c)
+				}
+			}
+			im.notifyInstall(first, last)
+		}
+	})
+}
+
+// maybeComplete releases the source once the destination owes it nothing.
+func (im *Image) maybeComplete() {
+	if im.state != stPulling || im.stats.Complete {
+		return
+	}
+	if !im.remaining.Empty() || !im.inFlight.Empty() || im.pullsActive > 0 {
+		return
+	}
+	im.stats.ReleasedAt = im.eng.Now()
+	im.stats.Complete = true
+	im.state = stIdle
+	im.old = nil
+	im.released.Open(im.eng)
+}
+
+// BulkDoneGate returns the gate that opens when the mirror bulk copy has
+// fully synchronized the destination (always open for other modes' callers
+// after control transfer).
+func (im *Image) BulkDoneGate() *sim.Gate { return &im.bulkDone }
+
+// WaitComplete parks until the migration fully completes (source released).
+func (im *Image) WaitComplete(p *sim.Proc) {
+	im.released.Wait(p)
+}
+
+// Complete reports whether the last migration has fully finished.
+func (im *Image) Complete() bool { return im.stats.Complete }

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/hybridmig/hybridmig/internal/cluster"
+	"github.com/hybridmig/hybridmig/internal/core"
+	"github.com/hybridmig/hybridmig/internal/metrics"
+	"github.com/hybridmig/hybridmig/internal/params"
+	"github.com/hybridmig/hybridmig/internal/sim"
+	"github.com/hybridmig/hybridmig/internal/workload"
+)
+
+// AblationRow reports one configuration of a design-choice sweep, measured
+// on the Figure 3 IOR scenario with our approach.
+type AblationRow struct {
+	Label         string
+	MigrationTime float64
+	TrafficMB     float64
+	PushedChunks  int
+	PulledChunks  int
+	SkippedHot    int
+	DedupHits     int
+}
+
+// runAblation runs the IOR migration scenario with modified manager options.
+func runAblation(s Scale, label string, mutate func(*core.Options), mutateSetup func(*Setup)) AblationRow {
+	set := NewSetup(s, 10)
+	opts := core.DefaultOptions(core.ModeHybrid)
+	opts.Threshold = set.Cluster.Manager.Threshold
+	mutate(&opts)
+	set.Cluster.ManagerOverride = &opts
+	if mutateSetup != nil {
+		mutateSetup(&set)
+	}
+	tb := cluster.New(set.Cluster)
+	inst := launchWorkloadVM(tb, "vm0", 0, cluster.OurApproach, true)
+	w := workload.NewIOR(set.IOR)
+	tb.Eng.Go("ior", func(p *sim.Proc) { w.Run(p, inst.Guest) })
+	migrateAt(tb, inst, set.Warmup, 1)
+	run(tb, 1e6)
+	if !inst.Migrated {
+		panic("experiments: ablation migration incomplete: " + label)
+	}
+	st := inst.CoreStats
+	return AblationRow{
+		Label:         label,
+		MigrationTime: inst.MigrationTime,
+		TrafficMB:     metrics.MB(migrationTraffic(tb, cluster.OurApproach)),
+		PushedChunks:  st.PushedChunks,
+		PulledChunks:  st.PulledChunks + st.OnDemandPulls,
+		SkippedHot:    st.SkippedHot,
+		DedupHits:     st.DedupHits,
+	}
+}
+
+// AblateThreshold sweeps the write-count threshold of Algorithm 1.
+// Threshold 1 pushes each chunk at most once; a huge threshold never stops
+// pushing hot chunks (pure-precopy-like push behaviour).
+func AblateThreshold(s Scale) []AblationRow {
+	rows := make([]AblationRow, 0, 5)
+	for _, th := range []uint32{1, 2, 3, 5, 1 << 30} {
+		label := fmt.Sprintf("threshold=%d", th)
+		if th == 1<<30 {
+			label = "threshold=inf"
+		}
+		th := th
+		rows = append(rows, runAblation(s, label, func(o *core.Options) { o.Threshold = th }, nil))
+	}
+	return rows
+}
+
+// AblatePullPriority compares write-count-prioritized prefetch against plain
+// ascending-order pull.
+func AblatePullPriority(s Scale) []AblationRow {
+	return []AblationRow{
+		runAblation(s, "priority=write-count", func(o *core.Options) { o.PullPriority = true }, nil),
+		runAblation(s, "priority=fifo", func(o *core.Options) { o.PullPriority = false }, nil),
+	}
+}
+
+// AblateBasePrefetch compares hint-driven base-image prefetch on and off.
+func AblateBasePrefetch(s Scale) []AblationRow {
+	return []AblationRow{
+		runAblation(s, "base-prefetch=on", func(o *core.Options) { o.BasePrefetch = true }, nil),
+		runAblation(s, "base-prefetch=off", func(o *core.Options) { o.BasePrefetch = false }, nil),
+	}
+}
+
+// AblateStripeSize sweeps the repository stripe size (Section 5.2.1 picks
+// 256 KB as the fragmentation/contention sweet spot).
+func AblateStripeSize(s Scale) []AblationRow {
+	rows := make([]AblationRow, 0, 3)
+	for _, ss := range []int64{64 * params.KB, 256 * params.KB, 1 * params.MB} {
+		ss := ss
+		rows = append(rows, runAblation(s, fmt.Sprintf("stripe=%dKB", ss/params.KB),
+			func(o *core.Options) {},
+			func(set *Setup) {
+				set.Cluster.Repo.StripeSize = ss
+				// Chunk size tracks stripe size: the manager requires them
+				// to nest.
+				set.Cluster.Testbed.ChunkSize = ss
+			}))
+	}
+	return rows
+}
+
+// AblateDedup compares content-deduplicated transfers (paper §6 future
+// work) against plain transfers.
+func AblateDedup(s Scale) []AblationRow {
+	return []AblationRow{
+		runAblation(s, "dedup=off", func(o *core.Options) { o.Dedup = false }, nil),
+		runAblation(s, "dedup=on", func(o *core.Options) { o.Dedup = true }, nil),
+	}
+}
+
+// AblateCompression compares online compression ratios (paper §6 / [24]).
+func AblateCompression(s Scale) []AblationRow {
+	rows := make([]AblationRow, 0, 3)
+	for _, ratio := range []float64{0, 0.6, 0.3} {
+		ratio := ratio
+		label := "compression=off"
+		if ratio > 0 {
+			label = fmt.Sprintf("compression=%.0f%%", ratio*100)
+		}
+		rows = append(rows, runAblation(s, label, func(o *core.Options) {
+			o.CompressionRatio = ratio
+			o.CompressBW = 400 * params.MB
+		}, nil))
+	}
+	return rows
+}
+
+// AblationTable renders ablation rows.
+func AblationTable(title string, rows []AblationRow) *metrics.Table {
+	t := metrics.NewTable(title, "config", "mig time (s)", "traffic (MB)", "pushed", "pulled", "hot", "dedup hits")
+	for _, r := range rows {
+		t.AddRow(r.Label, r.MigrationTime, r.TrafficMB, r.PushedChunks, r.PulledChunks, r.SkippedHot, r.DedupHits)
+	}
+	return t
+}

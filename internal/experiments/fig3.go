@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"github.com/hybridmig/hybridmig/internal/cluster"
+	"github.com/hybridmig/hybridmig/internal/metrics"
+	"github.com/hybridmig/hybridmig/internal/sim"
+	"github.com/hybridmig/hybridmig/internal/workload"
+)
+
+// Fig3Row is one bar group of Figures 3(a)-(c): one approach under one
+// benchmark.
+type Fig3Row struct {
+	Approach cluster.Approach
+	Bench    string // "IOR" or "AsyncWR"
+
+	MigrationTime float64 // Fig. 3(a), seconds
+	TrafficMB     float64 // Fig. 3(b)
+
+	// Fig. 3(c): average achieved throughput normalized to the maximal
+	// no-migration values (1 GB/s read, 266 MB/s write, 6 MB/s AsyncWR).
+	NormReadPct  float64 // IOR only
+	NormWritePct float64
+}
+
+// Fig3Benches lists the benchmarks of Section 5.3.
+var Fig3Benches = []string{"IOR", "AsyncWR"}
+
+// RunFig3 reproduces Figure 3: a single VM (4 GB RAM, 4 GB image) runs the
+// benchmark, and a live migration is initiated after the warm-up delay.
+func RunFig3(s Scale) []Fig3Row {
+	var rows []Fig3Row
+	for _, bench := range Fig3Benches {
+		for _, a := range cluster.Approaches() {
+			rows = append(rows, RunFig3One(s, a, bench))
+		}
+	}
+	return rows
+}
+
+// RunFig3One runs a single (approach, benchmark) cell of Figure 3.
+func RunFig3One(s Scale, a cluster.Approach, bench string) Fig3Row {
+	return runFig3One(s, a, bench)
+}
+
+func runFig3One(s Scale, a cluster.Approach, bench string) Fig3Row {
+	set := NewSetup(s, 10)
+	tb := cluster.New(set.Cluster)
+	inst := launchWorkloadVM(tb, "vm0", 0, a, bench == "IOR")
+
+	var ior *workload.IOR
+	var awr *workload.AsyncWR
+	switch bench {
+	case "IOR":
+		ior = workload.NewIOR(set.IOR)
+		tb.Eng.Go("ior", func(p *sim.Proc) { ior.Run(p, inst.Guest) })
+	case "AsyncWR":
+		awr = workload.NewAsyncWR(set.AsyncWR)
+		tb.Eng.Go("asyncwr", func(p *sim.Proc) { awr.Run(p, inst.Guest) })
+	default:
+		panic("experiments: unknown benchmark " + bench)
+	}
+	migrateAt(tb, inst, set.Warmup, 1)
+	run(tb, 1e6)
+
+	if !inst.Migrated {
+		panic("experiments: fig3 migration did not complete for " + string(a))
+	}
+	row := Fig3Row{
+		Approach:      a,
+		Bench:         bench,
+		MigrationTime: inst.MigrationTime,
+		TrafficMB:     metrics.MB(migrationTraffic(tb, a)),
+	}
+	g := set.Cluster.Guest
+	switch bench {
+	case "IOR":
+		row.NormReadPct = metrics.Pct(metrics.Ratio(ior.Report.ReadBW(), g.CacheReadBandwidth))
+		row.NormWritePct = metrics.Pct(metrics.Ratio(ior.Report.WriteBW(), g.CacheWriteBandwidth))
+	case "AsyncWR":
+		nominal := float64(set.AsyncWR.DataPerIter) / set.AsyncWR.ComputeTime
+		row.NormWritePct = metrics.Pct(metrics.Ratio(awr.Report.WriteBW(), nominal))
+	}
+	return row
+}
+
+// Fig3Tables renders the three panels as text tables.
+func Fig3Tables(rows []Fig3Row) []*metrics.Table {
+	ta := metrics.NewTable("Figure 3(a): migration time (s, lower is better)",
+		"approach", "IOR", "AsyncWR")
+	tbt := metrics.NewTable("Figure 3(b): total network traffic (MB, lower is better)",
+		"approach", "IOR", "AsyncWR")
+	tc := metrics.NewTable("Figure 3(c): normalized avg throughput (% of max, higher is better)",
+		"approach", "IOR-Read", "IOR-Write", "AsyncWR")
+	byKey := map[string]Fig3Row{}
+	for _, r := range rows {
+		byKey[string(r.Approach)+"/"+r.Bench] = r
+	}
+	for _, a := range cluster.Approaches() {
+		i := byKey[string(a)+"/IOR"]
+		w := byKey[string(a)+"/AsyncWR"]
+		ta.AddRow(string(a), i.MigrationTime, w.MigrationTime)
+		tbt.AddRow(string(a), i.TrafficMB, w.TrafficMB)
+		tc.AddRow(string(a), i.NormReadPct, i.NormWritePct, w.NormWritePct)
+	}
+	return []*metrics.Table{ta, tbt, tc}
+}

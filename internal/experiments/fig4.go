@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/hybridmig/hybridmig/internal/cluster"
+	"github.com/hybridmig/hybridmig/internal/metrics"
+	"github.com/hybridmig/hybridmig/internal/sim"
+	"github.com/hybridmig/hybridmig/internal/workload"
+)
+
+// Fig4Row is one point of Figures 4(a)-(c): one approach at one concurrency
+// level.
+type Fig4Row struct {
+	Approach    cluster.Approach
+	Concurrency int
+
+	AvgMigrationTime float64 // Fig. 4(a), seconds per instance
+	TrafficGB        float64 // Fig. 4(b)
+	DegradationPct   float64 // Fig. 4(c), % of migration-free potential
+}
+
+// Fig4Concurrencies returns the x-axis of Figure 4 for the scale.
+func Fig4Concurrencies(s Scale) []int {
+	if s == ScalePaper {
+		return []int{1, 10, 20, 30}
+	}
+	return []int{1, 3, 6}
+}
+
+// fig4Sources returns the number of AsyncWR source VMs.
+func fig4Sources(s Scale) int {
+	if s == ScalePaper {
+		return 30
+	}
+	return 6
+}
+
+// RunFig4 reproduces Figure 4: a fixed population of AsyncWR VMs, of which
+// the first K migrate simultaneously after the warm-up delay. Degradation
+// follows the paper's definition — computation lost as a percent of "the
+// maximum computational potential achieved in a migration-free scenario" —
+// so every approach is normalized against the best migration-free run
+// (local storage): pvfs-shared pays for its remote I/O even before any
+// migration starts, exactly as in Figure 4(c).
+func RunFig4(s Scale) []Fig4Row {
+	// Baselines: migration-free runs per approach; the reference is the
+	// best of them.
+	var bestBase float64
+	for _, a := range cluster.Approaches() {
+		base := runFig4One(s, a, 0)
+		if base.counter > bestBase {
+			bestBase = base.counter
+		}
+	}
+	var rows []Fig4Row
+	for _, a := range cluster.Approaches() {
+		for _, k := range Fig4Concurrencies(s) {
+			r := runFig4One(s, a, k)
+			r.DegradationPct = metrics.Pct(1 - metrics.Ratio(r.counter, bestBase))
+			if r.DegradationPct < 0 {
+				r.DegradationPct = 0
+			}
+			rows = append(rows, r.Fig4Row)
+		}
+	}
+	return rows
+}
+
+// fig4Result carries the row plus the raw counter for degradation math.
+type fig4Result struct {
+	Fig4Row
+	counter float64
+}
+
+func runFig4One(s Scale, a cluster.Approach, concurrent int) fig4Result {
+	sources := fig4Sources(s)
+	set := NewSetup(s, 2*sources)
+	tb := cluster.New(set.Cluster)
+
+	insts := make([]*cluster.Instance, sources)
+	loads := make([]*workload.AsyncWR, sources)
+	for i := 0; i < sources; i++ {
+		i := i
+		insts[i] = launchWorkloadVM(tb, fmt.Sprintf("vm%02d", i), i, a, false)
+		loads[i] = workload.NewAsyncWR(set.AsyncWR)
+		loads[i].Deadline = set.Warmup + set.Horizon
+		tb.Eng.Go(fmt.Sprintf("asyncwr%02d", i), func(p *sim.Proc) {
+			loads[i].Run(p, insts[i].Guest)
+		})
+	}
+	// Simultaneous migrations of the first K instances to distinct targets.
+	for k := 0; k < concurrent; k++ {
+		migrateAt(tb, insts[k], set.Warmup, sources+k)
+	}
+	run(tb, 1e6)
+
+	res := fig4Result{Fig4Row: Fig4Row{Approach: a, Concurrency: concurrent}}
+	var sumMig float64
+	for k := 0; k < concurrent; k++ {
+		if !insts[k].Migrated {
+			panic(fmt.Sprintf("experiments: fig4 migration %d incomplete for %s", k, a))
+		}
+		sumMig += insts[k].MigrationTime
+	}
+	if concurrent > 0 {
+		res.AvgMigrationTime = sumMig / float64(concurrent)
+	}
+	res.TrafficGB = metrics.GB(migrationTraffic(tb, a))
+	for _, w := range loads {
+		res.counter += float64(w.Report.Counter)
+	}
+	return res
+}
+
+// Fig4Tables renders the three panels.
+func Fig4Tables(s Scale, rows []Fig4Row) []*metrics.Table {
+	concs := Fig4Concurrencies(s)
+	head := make([]string, 0, len(concs)+1)
+	head = append(head, "approach")
+	for _, k := range concs {
+		head = append(head, fmt.Sprintf("n=%d", k))
+	}
+	ta := metrics.NewTable("Figure 4(a): avg migration time per instance (s, lower is better)", head...)
+	tbt := metrics.NewTable("Figure 4(b): total network traffic (GB, lower is better)", head...)
+	tc := metrics.NewTable("Figure 4(c): performance degradation (% of max, lower is better)", head...)
+	byKey := map[string]Fig4Row{}
+	for _, r := range rows {
+		byKey[fmt.Sprintf("%s/%d", r.Approach, r.Concurrency)] = r
+	}
+	for _, a := range cluster.Approaches() {
+		ra := []any{string(a)}
+		rb := []any{string(a)}
+		rc := []any{string(a)}
+		for _, k := range concs {
+			r := byKey[fmt.Sprintf("%s/%d", a, k)]
+			ra = append(ra, r.AvgMigrationTime)
+			rb = append(rb, r.TrafficGB)
+			rc = append(rc, r.DegradationPct)
+		}
+		ta.AddRow(ra...)
+		tbt.AddRow(rb...)
+		tc.AddRow(rc...)
+	}
+	return []*metrics.Table{ta, tbt, tc}
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/hybridmig/hybridmig/internal/cluster"
+	"github.com/hybridmig/hybridmig/internal/guest"
+	"github.com/hybridmig/hybridmig/internal/metrics"
+	"github.com/hybridmig/hybridmig/internal/sim"
+	"github.com/hybridmig/hybridmig/internal/workload"
+)
+
+// Fig5Row is one point of Figures 5(a)-(c): one approach at one number of
+// successive migrations under the CM1 application.
+type Fig5Row struct {
+	Approach   cluster.Approach
+	Migrations int
+
+	CumulMigrationTime float64 // Fig. 5(a), summed over all migrations (s)
+	TrafficGB          float64 // Fig. 5(b), CM1 communication excluded
+	RuntimeIncrease    float64 // Fig. 5(c), vs the migration-free run (s)
+}
+
+// Fig5Migrations returns the x-axis of Figure 5 for the scale.
+func Fig5Migrations(s Scale) []int {
+	if s == ScalePaper {
+		return []int{1, 2, 3, 4, 5, 6, 7}
+	}
+	return []int{1, 2, 3}
+}
+
+// RunFig5 reproduces Figure 5: CM1 ranks (one per source node) run the
+// stencil; migrations of sources 0..M-1 start Gap seconds apart. Runtime
+// increase compares against a migration-free run of the same approach.
+func RunFig5(s Scale) []Fig5Row {
+	var rows []Fig5Row
+	for _, a := range cluster.Approaches() {
+		base := runFig5One(s, a, 0)
+		for _, m := range Fig5Migrations(s) {
+			r := runFig5One(s, a, m)
+			r.RuntimeIncrease = r.runtime - base.runtime
+			if r.RuntimeIncrease < 0 {
+				r.RuntimeIncrease = 0
+			}
+			rows = append(rows, r.Fig5Row)
+		}
+	}
+	return rows
+}
+
+type fig5Result struct {
+	Fig5Row
+	runtime float64
+}
+
+func runFig5One(s Scale, a cluster.Approach, migrations int) fig5Result {
+	set := NewSetup(s, 0)
+	ranks := set.CM1.Procs
+	maxMig := Fig5Migrations(s)[len(Fig5Migrations(s))-1]
+	set.Cluster.Nodes = ranks + maxMig
+	tb := cluster.New(set.Cluster)
+
+	cm1 := workload.NewCM1(set.CM1, tb.Cl)
+	insts := make([]*cluster.Instance, ranks)
+	guests := make([]*guest.Guest, ranks)
+	for i := 0; i < ranks; i++ {
+		insts[i] = launchWorkloadVM(tb, fmt.Sprintf("rank%02d", i), i, a, false)
+		guests[i] = insts[i].Guest
+	}
+	for i := 0; i < ranks; i++ {
+		i := i
+		tb.Eng.Go(fmt.Sprintf("cm1rank%02d", i), func(p *sim.Proc) {
+			cm1.Rank(p, i, guests[i], guests)
+		})
+	}
+	// Successive migrations: source k moves after (k+1) gaps.
+	for k := 0; k < migrations; k++ {
+		migrateAt(tb, insts[k], set.Gap*float64(k+1), ranks+k)
+	}
+	run(tb, 1e7)
+
+	res := fig5Result{Fig5Row: Fig5Row{Approach: a, Migrations: migrations}}
+	for k := 0; k < migrations; k++ {
+		if !insts[k].Migrated {
+			panic(fmt.Sprintf("experiments: fig5 migration %d incomplete for %s", k, a))
+		}
+		res.CumulMigrationTime += insts[k].MigrationTime
+	}
+	res.runtime = cm1.Report.Runtime
+	if cm1.Report.Intervals != set.CM1.Intervals {
+		panic("experiments: CM1 did not finish")
+	}
+	// Fig. 5(b) excludes application communication: migrationTraffic never
+	// counts flow.TagApp, which is exactly the paper's subtraction.
+	res.TrafficGB = metrics.GB(migrationTraffic(tb, a))
+	return res
+}
+
+// Fig5Tables renders the three panels.
+func Fig5Tables(s Scale, rows []Fig5Row) []*metrics.Table {
+	migs := Fig5Migrations(s)
+	head := make([]string, 0, len(migs)+1)
+	head = append(head, "approach")
+	for _, m := range migs {
+		head = append(head, fmt.Sprintf("m=%d", m))
+	}
+	ta := metrics.NewTable("Figure 5(a): cumulated migration time (s, lower is better)", head...)
+	tbt := metrics.NewTable("Figure 5(b): network traffic excluding CM1 communication (GB, lower is better)", head...)
+	tc := metrics.NewTable("Figure 5(c): increase in app execution time (s, lower is better)", head...)
+	byKey := map[string]Fig5Row{}
+	for _, r := range rows {
+		byKey[fmt.Sprintf("%s/%d", r.Approach, r.Migrations)] = r
+	}
+	for _, a := range cluster.Approaches() {
+		ra := []any{string(a)}
+		rb := []any{string(a)}
+		rc := []any{string(a)}
+		for _, m := range migs {
+			r := byKey[fmt.Sprintf("%s/%d", a, m)]
+			ra = append(ra, r.CumulMigrationTime)
+			rb = append(rb, r.TrafficGB)
+			rc = append(rc, r.RuntimeIncrease)
+		}
+		ta.AddRow(ra...)
+		tbt.AddRow(rb...)
+		tc.AddRow(rc...)
+	}
+	return []*metrics.Table{ta, tbt, tc}
+}

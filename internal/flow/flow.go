@@ -1,0 +1,460 @@
+// Package flow implements a flow-level network/resource model with max-min
+// fair bandwidth sharing.
+//
+// A Flow is a bulk transfer of a known size that traverses an ordered set of
+// capacity Links (e.g. source NIC -> switch fabric -> destination NIC, or a
+// single disk link for local I/O). Whenever the set of active flows changes,
+// the package recomputes a max-min fair rate allocation by progressive
+// filling: repeatedly find the most constrained link, give every unfrozen
+// flow crossing it an equal share of that link's residual capacity, and
+// freeze those flows. Flows may additionally carry an individual rate cap
+// (application pacing, hypervisor migration speed limits), which is treated
+// as a private link.
+//
+// This is the standard fluid approximation used by flow-level datacenter
+// simulators: it captures who saturates which resource and when, without
+// simulating individual packets.
+package flow
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hybridmig/hybridmig/internal/sim"
+)
+
+// Tag classifies a flow for traffic accounting; the experiment harness
+// attributes bytes to migration phases using these.
+type Tag uint8
+
+// Traffic tags. TagOther is the zero value.
+const (
+	TagOther       Tag = iota
+	TagMemory          // hypervisor memory pre-copy traffic
+	TagStoragePush     // migration manager active push (source -> destination)
+	TagStoragePull     // migration manager pull/prefetch (destination <- source)
+	TagBlockMig        // hypervisor incremental block migration (precopy baseline)
+	TagMirror          // synchronous write mirroring traffic
+	TagRepo            // repository (base image) reads
+	TagPFS             // parallel file system I/O
+	TagApp             // application communication (e.g. CM1 halo exchange)
+	TagControl         // small control messages
+	numTags
+)
+
+var tagNames = [numTags]string{
+	"other", "memory", "push", "pull", "blockmig", "mirror", "repo", "pfs", "app", "control",
+}
+
+func (t Tag) String() string {
+	if int(t) < len(tagNames) {
+		return tagNames[t]
+	}
+	return fmt.Sprintf("tag(%d)", uint8(t))
+}
+
+// Tags returns all defined tags in order, for iteration by reporters.
+func Tags() []Tag {
+	out := make([]Tag, numTags)
+	for i := range out {
+		out[i] = Tag(i)
+	}
+	return out
+}
+
+// Link is a capacity-constrained resource (a NIC direction, a switch fabric,
+// a disk). Bytes flowing through it are accumulated for utilization reports.
+type Link struct {
+	Name     string
+	Capacity float64 // bytes per second
+
+	flows []*Flow // active flows crossing this link
+	bytes float64 // total bytes carried
+
+	// scratch for rate computation
+	frozenRate float64
+	unfrozen   int
+}
+
+// NewLink returns a link with the given name and capacity in bytes/second.
+func NewLink(name string, capacity float64) *Link {
+	if capacity <= 0 {
+		panic("flow: link capacity must be positive")
+	}
+	return &Link{Name: name, Capacity: capacity}
+}
+
+// Bytes returns the total number of bytes that have crossed the link.
+func (l *Link) Bytes() float64 { return l.bytes }
+
+// ActiveFlows returns the number of flows currently crossing the link.
+func (l *Link) ActiveFlows() int { return len(l.flows) }
+
+func (l *Link) addFlow(f *Flow) { l.flows = append(l.flows, f) }
+func (l *Link) removeFlow(f *Flow) {
+	for i, g := range l.flows {
+		if g == f {
+			last := len(l.flows) - 1
+			l.flows[i] = l.flows[last]
+			l.flows[last] = nil
+			l.flows = l.flows[:last]
+			return
+		}
+	}
+}
+
+// Flow is a bulk transfer in progress.
+type Flow struct {
+	Links   []*Link // resources traversed; may be empty for an infinitely fast local transfer
+	Size    float64 // total bytes
+	MaxRate float64 // per-flow cap in bytes/s; 0 means uncapped
+	Tag     Tag
+	OnDone  func() // optional completion callback, runs in engine context
+
+	remaining float64
+	rate      float64
+	frozen    bool // scratch for progressive filling
+	active    bool
+	doneCond  sim.Cond
+	net       *Net
+	index     int // position in net.flows
+}
+
+// Remaining returns the bytes left to transfer (advanced lazily; accurate
+// after any net activity at the current instant).
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Rate returns the current allocated rate in bytes/s.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Done reports whether the flow has completed or been canceled.
+func (f *Flow) Done() bool { return !f.active && f.net != nil }
+
+// Net manages the set of active flows and their fair-share rates.
+type Net struct {
+	eng   *sim.Engine
+	flows []*Flow
+
+	lastAdvance sim.Time
+	gen         uint64 // completion event generation; stale events no-op
+	byTag       [numTags]float64
+	completed   uint64 // count of completed flows
+}
+
+// NewNet returns a flow network bound to the engine.
+func NewNet(eng *sim.Engine) *Net {
+	return &Net{eng: eng}
+}
+
+// Engine returns the simulation engine.
+func (n *Net) Engine() *sim.Engine { return n.eng }
+
+// BytesByTag returns the total bytes transferred for the tag across all
+// links (each flow's bytes are counted once, regardless of path length).
+func (n *Net) BytesByTag(t Tag) float64 { return n.byTag[t] }
+
+// TotalBytes returns bytes transferred across all tags.
+func (n *Net) TotalBytes() float64 {
+	var s float64
+	for _, v := range n.byTag {
+		s += v
+	}
+	return s
+}
+
+// CompletedFlows returns the number of flows that ran to completion.
+func (n *Net) CompletedFlows() uint64 { return n.completed }
+
+// ActiveFlows returns the number of flows currently in progress.
+func (n *Net) ActiveFlows() int { return len(n.flows) }
+
+// Start activates a flow. Zero-size flows complete immediately (their OnDone
+// fires before Start returns). A flow must not be started twice.
+func (n *Net) Start(f *Flow) {
+	if f.net != nil {
+		panic("flow: flow started twice")
+	}
+	if f.Size < 0 || math.IsNaN(f.Size) || math.IsInf(f.Size, 0) {
+		panic(fmt.Sprintf("flow: invalid size %v", f.Size))
+	}
+	f.net = n
+	f.remaining = f.Size
+	if f.Size <= epsBytes {
+		n.finish(f)
+		return
+	}
+	if len(f.Links) == 0 && f.MaxRate <= 0 {
+		// Infinitely fast: complete instantly.
+		n.finish(f)
+		return
+	}
+	n.advance()
+	f.active = true
+	f.index = len(n.flows)
+	n.flows = append(n.flows, f)
+	for _, l := range f.Links {
+		l.addFlow(f)
+	}
+	n.recompute()
+	n.schedule()
+}
+
+// Cancel removes an active flow before completion and returns the bytes that
+// were not transferred. OnDone does not fire for canceled flows. Canceling a
+// finished flow returns 0.
+func (n *Net) Cancel(f *Flow) float64 {
+	if !f.active {
+		return 0
+	}
+	n.advance()
+	rem := f.remaining
+	n.deactivate(f)
+	f.doneCond.Broadcast(n.eng)
+	n.recompute()
+	n.schedule()
+	return rem
+}
+
+// Wait parks the process until the flow completes or is canceled.
+func (f *Flow) Wait(p *sim.Proc) {
+	for f.net == nil || f.active {
+		f.doneCond.Wait(p)
+	}
+}
+
+// epsBytes is the completion tolerance: flows within this many bytes of done
+// are finished, absorbing float round-off.
+const epsBytes = 1e-3
+
+// minStep is the smallest schedulable completion delay. Below it, adding
+// the delay to the clock can round to no time advance at all (float64 has
+// ~2e-16 relative precision), which would loop the completion event forever;
+// flows that close to done are simply finished.
+const minStep = 1e-9
+
+// advance applies elapsed time to every active flow's remaining count and
+// accumulates per-link and per-tag byte counters.
+func (n *Net) advance() {
+	now := n.eng.Now()
+	dt := now - n.lastAdvance
+	n.lastAdvance = now
+	if dt <= 0 {
+		return
+	}
+	for _, f := range n.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		d := f.rate * dt
+		if d > f.remaining {
+			d = f.remaining
+		}
+		f.remaining -= d
+		n.byTag[f.Tag] += d
+		for _, l := range f.Links {
+			l.bytes += d
+		}
+	}
+}
+
+// deactivate unlinks a flow from the network and its links.
+func (n *Net) deactivate(f *Flow) {
+	f.active = false
+	last := len(n.flows) - 1
+	n.flows[f.index] = n.flows[last]
+	n.flows[f.index].index = f.index
+	n.flows[last] = nil
+	n.flows = n.flows[:last]
+	for _, l := range f.Links {
+		l.removeFlow(f)
+	}
+	f.rate = 0
+}
+
+// finish marks a flow complete, accounting any remaining round-off sliver,
+// and fires callbacks.
+func (n *Net) finish(f *Flow) {
+	if f.remaining > 0 {
+		// Account the final sliver that advance() rounded off.
+		n.byTag[f.Tag] += f.remaining
+		for _, l := range f.Links {
+			l.bytes += f.remaining
+		}
+		f.remaining = 0
+	}
+	n.completed++
+	f.doneCond.Broadcast(n.eng)
+	if f.OnDone != nil {
+		f.OnDone()
+	}
+}
+
+// recompute performs progressive-filling max-min fair allocation over all
+// active flows.
+func (n *Net) recompute() {
+	if len(n.flows) == 0 {
+		return
+	}
+	// Reset scratch state.
+	for _, f := range n.flows {
+		f.frozen = false
+		f.rate = 0
+	}
+	// Collect involved links deterministically: order by first occurrence.
+	ordered := make([]*Link, 0, 8)
+	seen := make(map[*Link]bool, 8)
+	for _, f := range n.flows {
+		for _, l := range f.Links {
+			if !seen[l] {
+				seen[l] = true
+				ordered = append(ordered, l)
+			}
+		}
+	}
+	for _, l := range ordered {
+		l.frozenRate = 0
+		l.unfrozen = 0
+		for _, f := range l.flows {
+			if f.active {
+				l.unfrozen++
+			}
+		}
+	}
+	remaining := len(n.flows)
+	for remaining > 0 {
+		// Candidate share: the smallest equal-share across constrained links.
+		share := math.Inf(1)
+		for _, l := range ordered {
+			if l.unfrozen == 0 {
+				continue
+			}
+			s := (l.Capacity - l.frozenRate) / float64(l.unfrozen)
+			if s < share {
+				share = s
+			}
+		}
+		if math.IsInf(share, 1) {
+			// Only cap-limited flows remain (no shared links).
+			for _, f := range n.flows {
+				if !f.frozen {
+					f.freezeAt(f.MaxRate)
+					remaining--
+				}
+			}
+			break
+		}
+		if share < 0 {
+			share = 0
+		}
+		// Flows whose individual cap is below the share freeze at their cap
+		// first; this releases capacity for the rest.
+		capped := false
+		for _, f := range n.flows {
+			if f.frozen || f.MaxRate <= 0 || f.MaxRate > share {
+				continue
+			}
+			f.freezeAt(f.MaxRate)
+			remaining--
+			capped = true
+		}
+		if capped {
+			continue
+		}
+		// Freeze flows on the bottleneck link(s) at the share rate.
+		for _, l := range ordered {
+			if l.unfrozen == 0 {
+				continue
+			}
+			s := (l.Capacity - l.frozenRate) / float64(l.unfrozen)
+			if s > share+1e-12 {
+				continue
+			}
+			// All unfrozen flows on this link freeze at share.
+			for _, f := range l.flows {
+				if f.active && !f.frozen {
+					f.freezeAt(share)
+					remaining--
+				}
+			}
+		}
+	}
+}
+
+// freezeAt fixes the flow's rate and charges it to each of its links.
+func (f *Flow) freezeAt(rate float64) {
+	f.frozen = true
+	f.rate = rate
+	for _, l := range f.Links {
+		l.frozenRate += rate
+		l.unfrozen--
+	}
+}
+
+// schedule arranges the next completion event.
+func (n *Net) schedule() {
+	n.gen++
+	if len(n.flows) == 0 {
+		return
+	}
+	next := math.Inf(1)
+	for _, f := range n.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		t := f.remaining / f.rate
+		if t < next {
+			next = t
+		}
+	}
+	if math.IsInf(next, 1) {
+		return // everything stalled (shouldn't happen with positive capacities)
+	}
+	if next < minStep {
+		next = minStep
+	}
+	gen := n.gen
+	n.eng.After(next, func() {
+		if gen != n.gen {
+			return
+		}
+		n.completionSweep()
+	})
+}
+
+// completionSweep advances flows and finishes all that have drained.
+func (n *Net) completionSweep() {
+	n.advance()
+	var done []*Flow
+	for _, f := range n.flows {
+		// A flow is done when drained, or so close that its completion
+		// delay would vanish under clock round-off.
+		if f.remaining <= epsBytes || (f.rate > 0 && f.remaining <= f.rate*minStep) {
+			done = append(done, f)
+		}
+	}
+	for _, f := range done {
+		n.deactivate(f)
+	}
+	// Recompute before firing callbacks so callbacks observe a consistent
+	// allocation; callbacks may start new flows, which recompute again.
+	n.recompute()
+	n.schedule()
+	for _, f := range done {
+		n.finish(f)
+	}
+}
+
+// Transfer runs a blocking transfer of size bytes across links and returns
+// when it completes.
+func (n *Net) Transfer(p *sim.Proc, links []*Link, size float64, tag Tag) {
+	f := &Flow{Links: links, Size: size, Tag: tag}
+	n.Start(f)
+	f.Wait(p)
+}
+
+// TransferCapped is Transfer with a per-flow rate cap.
+func (n *Net) TransferCapped(p *sim.Proc, links []*Link, size float64, maxRate float64, tag Tag) {
+	f := &Flow{Links: links, Size: size, MaxRate: maxRate, Tag: tag}
+	n.Start(f)
+	f.Wait(p)
+}

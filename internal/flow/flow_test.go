@@ -1,0 +1,423 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/hybridmig/hybridmig/internal/sim"
+)
+
+const tol = 1e-6
+
+func near(a, b float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestSingleFlowSingleLink(t *testing.T) {
+	e := sim.New()
+	n := NewNet(e)
+	l := NewLink("l", 100) // 100 B/s
+	var doneAt sim.Time
+	f := &Flow{Links: []*Link{l}, Size: 500, Tag: TagMemory, OnDone: func() { doneAt = e.Now() }}
+	n.Start(f)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !near(doneAt, 5) {
+		t.Fatalf("doneAt = %v, want 5", doneAt)
+	}
+	if !near(l.Bytes(), 500) {
+		t.Fatalf("link bytes = %v, want 500", l.Bytes())
+	}
+	if !near(n.BytesByTag(TagMemory), 500) {
+		t.Fatalf("tag bytes = %v, want 500", n.BytesByTag(TagMemory))
+	}
+}
+
+func TestFairShareTwoFlows(t *testing.T) {
+	e := sim.New()
+	n := NewNet(e)
+	l := NewLink("l", 100)
+	var t1, t2 sim.Time
+	n.Start(&Flow{Links: []*Link{l}, Size: 100, OnDone: func() { t1 = e.Now() }})
+	n.Start(&Flow{Links: []*Link{l}, Size: 100, OnDone: func() { t2 = e.Now() }})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Both share 50 B/s, finish together at t=2.
+	if !near(t1, 2) || !near(t2, 2) {
+		t.Fatalf("t1=%v t2=%v, want 2,2", t1, t2)
+	}
+}
+
+func TestFairShareStaggered(t *testing.T) {
+	e := sim.New()
+	n := NewNet(e)
+	l := NewLink("l", 100)
+	var t1, t2 sim.Time
+	n.Start(&Flow{Links: []*Link{l}, Size: 100, OnDone: func() { t1 = e.Now() }})
+	e.At(0.5, func() {
+		n.Start(&Flow{Links: []*Link{l}, Size: 100, OnDone: func() { t2 = e.Now() }})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Flow1: 50B alone in 0.5s, then 50B at 50B/s -> done at 1.5.
+	// Flow2: 50B at 50B/s until 1.5 (50 left... it has 100, transfers 50 by 1.5),
+	// then alone at 100B/s for remaining 50B -> done at 2.0.
+	if !near(t1, 1.5) {
+		t.Fatalf("t1 = %v, want 1.5", t1)
+	}
+	if !near(t2, 2.0) {
+		t.Fatalf("t2 = %v, want 2.0", t2)
+	}
+}
+
+func TestBottleneckMaxMin(t *testing.T) {
+	// Classic max-min scenario: links A(cap 100) and B(cap 30).
+	// Flow1 crosses A only; Flow2 crosses A and B.
+	// Max-min: flow2 limited by B at 30, flow1 gets A's residual 70.
+	e := sim.New()
+	n := NewNet(e)
+	la := NewLink("A", 100)
+	lb := NewLink("B", 30)
+	f1 := &Flow{Links: []*Link{la}, Size: 1e9}
+	f2 := &Flow{Links: []*Link{la, lb}, Size: 1e9}
+	n.Start(f1)
+	n.Start(f2)
+	if !near(f2.Rate(), 30) {
+		t.Fatalf("f2 rate = %v, want 30", f2.Rate())
+	}
+	if !near(f1.Rate(), 70) {
+		t.Fatalf("f1 rate = %v, want 70", f1.Rate())
+	}
+	e.Stop()
+	e.Shutdown()
+}
+
+func TestPerFlowCap(t *testing.T) {
+	e := sim.New()
+	n := NewNet(e)
+	l := NewLink("l", 100)
+	f1 := &Flow{Links: []*Link{l}, Size: 1e9, MaxRate: 10}
+	f2 := &Flow{Links: []*Link{l}, Size: 1e9}
+	n.Start(f1)
+	n.Start(f2)
+	if !near(f1.Rate(), 10) {
+		t.Fatalf("capped flow rate = %v, want 10", f1.Rate())
+	}
+	if !near(f2.Rate(), 90) {
+		t.Fatalf("uncapped flow rate = %v, want 90 (residual)", f2.Rate())
+	}
+	e.Stop()
+}
+
+func TestCapOnlyFlowNoLinks(t *testing.T) {
+	e := sim.New()
+	n := NewNet(e)
+	var doneAt sim.Time
+	n.Start(&Flow{Size: 100, MaxRate: 10, OnDone: func() { doneAt = e.Now() }})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !near(doneAt, 10) {
+		t.Fatalf("doneAt = %v, want 10", doneAt)
+	}
+}
+
+func TestZeroSizeCompletesImmediately(t *testing.T) {
+	e := sim.New()
+	n := NewNet(e)
+	l := NewLink("l", 100)
+	done := false
+	n.Start(&Flow{Links: []*Link{l}, Size: 0, OnDone: func() { done = true }})
+	if !done {
+		t.Fatal("zero-size flow did not complete synchronously")
+	}
+}
+
+func TestNoLinksNoCapInstant(t *testing.T) {
+	e := sim.New()
+	n := NewNet(e)
+	done := false
+	n.Start(&Flow{Size: 1e6, OnDone: func() { done = true }})
+	if !done {
+		t.Fatal("unconstrained flow did not complete instantly")
+	}
+	if !near(n.BytesByTag(TagOther), 1e6) {
+		t.Fatalf("bytes = %v", n.BytesByTag(TagOther))
+	}
+}
+
+func TestCancelReturnsRemaining(t *testing.T) {
+	e := sim.New()
+	n := NewNet(e)
+	l := NewLink("l", 100)
+	f := &Flow{Links: []*Link{l}, Size: 1000}
+	n.Start(f)
+	var rem float64
+	e.At(2, func() { rem = n.Cancel(f) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !near(rem, 800) {
+		t.Fatalf("remaining = %v, want 800", rem)
+	}
+	if !near(l.Bytes(), 200) {
+		t.Fatalf("link bytes = %v, want 200", l.Bytes())
+	}
+	if n.CompletedFlows() != 0 {
+		t.Fatal("canceled flow counted as completed")
+	}
+}
+
+func TestCancelSpeedsUpOthers(t *testing.T) {
+	e := sim.New()
+	n := NewNet(e)
+	l := NewLink("l", 100)
+	f1 := &Flow{Links: []*Link{l}, Size: 200}
+	var t2 sim.Time
+	f2 := &Flow{Links: []*Link{l}, Size: 200, OnDone: func() { t2 = e.Now() }}
+	n.Start(f1)
+	n.Start(f2)
+	e.At(1, func() { n.Cancel(f1) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// f2: 50B in first second, then 150B at 100B/s -> done at 2.5.
+	if !near(t2, 2.5) {
+		t.Fatalf("t2 = %v, want 2.5", t2)
+	}
+}
+
+func TestBlockingTransfer(t *testing.T) {
+	e := sim.New()
+	n := NewNet(e)
+	l := NewLink("l", 50)
+	var doneAt sim.Time
+	e.Go("xfer", func(p *sim.Proc) {
+		n.Transfer(p, []*Link{l}, 100, TagPFS)
+		doneAt = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !near(doneAt, 2) {
+		t.Fatalf("doneAt = %v, want 2", doneAt)
+	}
+}
+
+func TestWaitOnCanceledFlowReturns(t *testing.T) {
+	e := sim.New()
+	n := NewNet(e)
+	l := NewLink("l", 1)
+	f := &Flow{Links: []*Link{l}, Size: 1e9}
+	n.Start(f)
+	returned := false
+	e.Go("waiter", func(p *sim.Proc) {
+		f.Wait(p)
+		returned = true
+	})
+	e.At(1, func() { n.Cancel(f) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !returned {
+		t.Fatal("Wait did not return after cancel")
+	}
+}
+
+func TestMultiPathSeriesBottleneck(t *testing.T) {
+	// A flow crossing disk(55) -> nicOut(117) -> fabric(8000) -> nicIn(117)
+	// runs at the disk rate.
+	e := sim.New()
+	n := NewNet(e)
+	disk := NewLink("disk", 55)
+	out := NewLink("out", 117.5)
+	fab := NewLink("fab", 8000)
+	in := NewLink("in", 117.5)
+	f := &Flow{Links: []*Link{disk, out, fab, in}, Size: 550}
+	var doneAt sim.Time
+	f.OnDone = func() { doneAt = e.Now() }
+	n.Start(f)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !near(doneAt, 10) {
+		t.Fatalf("doneAt = %v, want 10", doneAt)
+	}
+	// Each link carried the full byte count (series path).
+	for _, l := range []*Link{disk, out, fab, in} {
+		if !near(l.Bytes(), 550) {
+			t.Fatalf("link %s bytes = %v, want 550", l.Name, l.Bytes())
+		}
+	}
+	// Tag accounting counts the flow once.
+	if !near(n.TotalBytes(), 550) {
+		t.Fatalf("total = %v, want 550", n.TotalBytes())
+	}
+}
+
+func TestFabricContention(t *testing.T) {
+	// 4 node-pairs, each NIC 100, fabric capacity 250: fabric is the
+	// bottleneck; each of 4 flows gets 62.5.
+	e := sim.New()
+	n := NewNet(e)
+	fab := NewLink("fab", 250)
+	var flows []*Flow
+	for i := 0; i < 4; i++ {
+		out := NewLink("out", 100)
+		in := NewLink("in", 100)
+		f := &Flow{Links: []*Link{out, fab, in}, Size: 1e9}
+		flows = append(flows, f)
+		n.Start(f)
+	}
+	for i, f := range flows {
+		if !near(f.Rate(), 62.5) {
+			t.Fatalf("flow %d rate = %v, want 62.5", i, f.Rate())
+		}
+	}
+	e.Stop()
+}
+
+// TestConservationProperty: for random flow sets, total accounted bytes
+// equal the sum of completed sizes plus transferred parts of canceled flows.
+func TestConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := sim.New()
+		n := NewNet(e)
+		links := make([]*Link, 5)
+		for i := range links {
+			links[i] = NewLink("l", 10+rng.Float64()*100)
+		}
+		var expected float64
+		var canceled []*Flow
+		nf := 3 + rng.Intn(8)
+		for i := 0; i < nf; i++ {
+			path := []*Link{links[rng.Intn(5)]}
+			if rng.Intn(2) == 0 {
+				path = append(path, links[rng.Intn(5)])
+			}
+			fl := &Flow{Links: path, Size: 1 + rng.Float64()*1000}
+			if rng.Intn(4) == 0 {
+				fl.MaxRate = 1 + rng.Float64()*50
+			}
+			start := rng.Float64() * 5
+			e.At(start, func() { n.Start(fl) })
+			if rng.Intn(5) == 0 {
+				canceled = append(canceled, fl)
+				e.At(start+rng.Float64()*2, func() { n.Cancel(fl) })
+			} else {
+				expected += fl.Size
+			}
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		var canceledTransferred float64
+		for _, fl := range canceled {
+			canceledTransferred += fl.Size - fl.Remaining()
+		}
+		return near(n.TotalBytes(), expected+canceledTransferred)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaxMinInvariants: after any allocation, (1) no link exceeds capacity,
+// (2) no flow exceeds its cap, (3) every flow is bottlenecked somewhere
+// (saturated link or own cap) — the defining property of max-min fairness.
+func TestMaxMinInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := sim.New()
+		n := NewNet(e)
+		links := make([]*Link, 4)
+		for i := range links {
+			links[i] = NewLink("l", 10+rng.Float64()*100)
+		}
+		var flows []*Flow
+		for i := 0; i < 3+rng.Intn(10); i++ {
+			// Random non-empty subset of links.
+			var path []*Link
+			for _, l := range links {
+				if rng.Intn(2) == 0 {
+					path = append(path, l)
+				}
+			}
+			if len(path) == 0 {
+				path = []*Link{links[0]}
+			}
+			fl := &Flow{Links: path, Size: 1e12}
+			if rng.Intn(3) == 0 {
+				fl.MaxRate = 1 + rng.Float64()*40
+			}
+			flows = append(flows, fl)
+			n.Start(fl)
+		}
+		defer e.Stop()
+		// (1) capacity respected
+		for _, l := range links {
+			var sum float64
+			for _, fl := range flows {
+				for _, fl2 := range fl.Links {
+					if fl2 == l {
+						sum += fl.Rate()
+					}
+				}
+			}
+			if sum > l.Capacity*(1+1e-9) {
+				return false
+			}
+		}
+		for _, fl := range flows {
+			// (2) cap respected
+			if fl.MaxRate > 0 && fl.Rate() > fl.MaxRate*(1+1e-9) {
+				return false
+			}
+			if fl.Rate() <= 0 {
+				return false
+			}
+			// (3) bottlenecked somewhere
+			bottled := fl.MaxRate > 0 && near(fl.Rate(), fl.MaxRate)
+			for _, l := range fl.Links {
+				var sum float64
+				maxOnLink := 0.0
+				for _, other := range flows {
+					for _, l2 := range other.Links {
+						if l2 == l {
+							sum += other.Rate()
+							if other.Rate() > maxOnLink {
+								maxOnLink = other.Rate()
+							}
+						}
+					}
+				}
+				// Saturated link where this flow has a maximal rate.
+				if near(sum, l.Capacity) && fl.Rate() >= maxOnLink-tol {
+					bottled = true
+				}
+			}
+			if !bottled {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagString(t *testing.T) {
+	if TagMemory.String() != "memory" || TagPFS.String() != "pfs" {
+		t.Fatal("tag names wrong")
+	}
+	if len(Tags()) != int(numTags) {
+		t.Fatal("Tags() length mismatch")
+	}
+}

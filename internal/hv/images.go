@@ -1,0 +1,335 @@
+package hv
+
+import (
+	"fmt"
+
+	"github.com/hybridmig/hybridmig/internal/chunk"
+	"github.com/hybridmig/hybridmig/internal/fabric"
+	"github.com/hybridmig/hybridmig/internal/flow"
+	"github.com/hybridmig/hybridmig/internal/pfs"
+	"github.com/hybridmig/hybridmig/internal/sim"
+	"github.com/hybridmig/hybridmig/internal/vm"
+)
+
+// COWImage is the precopy baseline's disk image: a qcow2-style copy-on-write
+// snapshot on the local disk backed by a base image on the parallel file
+// system (Section 5.2.2 case 1). The hypervisor migrates the snapshot with
+// incremental block migration via the BlockMigrator interface.
+type COWImage struct {
+	cl      *fabric.Cluster
+	node    *fabric.Node
+	geo     chunk.Geometry
+	base    *pfs.File
+	backing vm.DiskImage // host-cached local qcow2 file (nil = raw disk time)
+
+	local    *chunk.Set // chunks allocated in the COW snapshot
+	content  []uint64   // content IDs of allocated chunks
+	seq      uint64
+	tracking bool       // block-dirty log armed (during migration)
+	dirty    *chunk.Set // blocks dirtied since last collection
+
+	// Stats.
+	BaseReadBytes  float64
+	LocalReadBytes float64
+	WriteBytes     float64
+	RMWFetches     int
+}
+
+var _ vm.DiskImage = (*COWImage)(nil)
+var _ BlockMigrator = (*COWImage)(nil)
+
+// NewCOWImage creates the image on node with the given base file. backing,
+// when non-nil, is the host-cached local file below the qcow2 layer.
+func NewCOWImage(cl *fabric.Cluster, node *fabric.Node, geo chunk.Geometry, base *pfs.File, backing vm.DiskImage) *COWImage {
+	if base == nil {
+		panic("hv: COW image needs a base file")
+	}
+	return &COWImage{
+		cl:      cl,
+		node:    node,
+		geo:     geo,
+		base:    base,
+		backing: backing,
+		local:   chunk.NewSet(geo.Chunks()),
+		content: make([]uint64, geo.Chunks()),
+		dirty:   chunk.NewSet(geo.Chunks()),
+	}
+}
+
+// store charges a write to the local qcow2 file.
+func (im *COWImage) store(p *sim.Proc, off, length int64) {
+	if im.backing != nil {
+		im.backing.Write(p, off, length)
+		return
+	}
+	im.cl.DiskIO(p, im.node, float64(length), flow.TagOther)
+}
+
+// loadLocal charges a read from the local qcow2 file.
+func (im *COWImage) loadLocal(p *sim.Proc, off, length int64) {
+	if im.backing != nil {
+		im.backing.Read(p, off, length)
+		return
+	}
+	im.cl.DiskIO(p, im.node, float64(length), flow.TagOther)
+}
+
+// Node returns the node currently hosting the snapshot.
+func (im *COWImage) Node() *fabric.Node { return im.node }
+
+// Geometry implements vm.DiskImage.
+func (im *COWImage) Geometry() chunk.Geometry { return im.geo }
+
+// ContentSnapshot returns a copy of the per-chunk content IDs (tests).
+func (im *COWImage) ContentSnapshot() []uint64 {
+	out := make([]uint64, len(im.content))
+	copy(out, im.content)
+	return out
+}
+
+// LocalSet returns the allocated-chunk set (tests).
+func (im *COWImage) LocalSet() *chunk.Set { return im.local }
+
+// ForEachLocalRange calls fn for every maximal run of allocated chunks
+// (byte offsets).
+func (im *COWImage) ForEachLocalRange(fn func(off, length int64)) {
+	c := chunk.Idx(0)
+	for {
+		start, n := im.local.NextRunFrom(c, 1<<30)
+		if start < 0 {
+			return
+		}
+		r1 := im.geo.ChunkRange(start)
+		r2 := im.geo.ChunkRange(start + chunk.Idx(n-1))
+		fn(r1.Off, r2.End()-r1.Off)
+		c = start + chunk.Idx(n)
+	}
+}
+
+// Read implements vm.DiskImage: allocated chunks come from the local disk,
+// unallocated ones from the base file on the parallel FS (no copy-on-read,
+// matching qcow2).
+func (im *COWImage) Read(p *sim.Proc, off, length int64) {
+	if length <= 0 {
+		return
+	}
+	first, last := im.geo.Span(chunk.Range{Off: off, Len: length})
+	for c := first; c <= last; {
+		inLocal := im.local.Contains(c)
+		end := c
+		for end+1 <= last && im.local.Contains(end+1) == inLocal {
+			end++
+		}
+		bytes := im.runBytes(off, length, c, end)
+		if inLocal {
+			lo := im.geo.ChunkRange(c).Off
+			if off > lo {
+				lo = off
+			}
+			im.loadLocal(p, lo, int64(bytes))
+			im.LocalReadBytes += bytes
+		} else {
+			im.readBase(p, c, end, bytes)
+		}
+		c = end + 1
+	}
+}
+
+// readBase fetches [c..end] from the base file over the PFS.
+func (im *COWImage) readBase(p *sim.Proc, c, end chunk.Idx, bytes float64) {
+	r1 := im.geo.ChunkRange(c)
+	r2 := im.geo.ChunkRange(end)
+	im.base.Read(p, im.node, r1.Off, r2.End()-r1.Off)
+	im.BaseReadBytes += bytes
+}
+
+// Write implements vm.DiskImage: copy-on-write at chunk granularity.
+// Partially covered unallocated chunks fetch the base cluster first.
+func (im *COWImage) Write(p *sim.Proc, off, length int64) {
+	if length <= 0 {
+		return
+	}
+	first, last := im.geo.Span(chunk.Range{Off: off, Len: length})
+	wr := chunk.Range{Off: off, Len: length}
+	for c := first; c <= last; c++ {
+		if !im.local.Contains(c) && !im.geo.FullyCovers(wr, c) {
+			// COW read-modify-write of the backing cluster.
+			cr := im.geo.ChunkRange(c)
+			im.base.Read(p, im.node, cr.Off, cr.Len)
+			im.RMWFetches++
+		}
+	}
+	im.store(p, off, length)
+	im.WriteBytes += float64(length)
+	for c := first; c <= last; c++ {
+		im.local.Add(c)
+		im.seq++
+		im.content[c] = im.seq
+		if im.tracking {
+			im.dirty.Add(c)
+		}
+	}
+}
+
+// Sync implements vm.DiskImage: flush the local qcow2 file (bdrv_flush).
+func (im *COWImage) Sync(p *sim.Proc) {
+	if im.backing != nil {
+		im.backing.Sync(p)
+	}
+}
+
+// BulkBytes implements BlockMigrator: the bulk phase covers every allocated
+// chunk; dirty tracking arms here.
+func (im *COWImage) BulkBytes() int64 {
+	im.tracking = true
+	im.dirty.Clear()
+	var b int64
+	im.local.ForEach(func(c chunk.Idx) bool {
+		b += im.geo.ChunkLen(c)
+		return true
+	})
+	return b
+}
+
+// CollectDirtyBytes implements BlockMigrator.
+func (im *COWImage) CollectDirtyBytes() int64 {
+	var b int64
+	im.dirty.ForEach(func(c chunk.Idx) bool {
+		b += im.geo.ChunkLen(c)
+		return true
+	})
+	im.dirty.Clear()
+	return b
+}
+
+// MoveTo rehomes the snapshot after control transfer: by the end of block
+// migration every allocated chunk has been re-created on the destination.
+func (im *COWImage) MoveTo(node *fabric.Node) {
+	im.node = node
+	im.tracking = false
+}
+
+// FinishBlockMigration implements BlockMigrator.
+func (im *COWImage) FinishBlockMigration() { im.tracking = false }
+
+// SharedImage is the pvfs-shared baseline's disk: the base image and the
+// copy-on-write snapshot both live on the parallel file system, so source
+// and destination are always synchronized and migration moves memory only —
+// but every guest I/O crosses the network (Section 5.2.3).
+type SharedImage struct {
+	cl   *fabric.Cluster
+	node *fabric.Node // VM location (for network paths)
+	geo  chunk.Geometry
+	base *pfs.File
+	snap *pfs.File
+
+	written *chunk.Set // chunks present in the snapshot
+	content []uint64
+	seq     uint64
+
+	ReadBytes  float64
+	WriteBytes float64
+}
+
+var _ vm.DiskImage = (*SharedImage)(nil)
+
+// NewSharedImage creates the image; snap must be a PFS file of image size.
+func NewSharedImage(cl *fabric.Cluster, node *fabric.Node, geo chunk.Geometry, base, snap *pfs.File) *SharedImage {
+	if snap.Size < geo.ImageSize {
+		panic(fmt.Sprintf("hv: snapshot file too small (%d < %d)", snap.Size, geo.ImageSize))
+	}
+	return &SharedImage{
+		cl:      cl,
+		node:    node,
+		geo:     geo,
+		base:    base,
+		snap:    snap,
+		written: chunk.NewSet(geo.Chunks()),
+		content: make([]uint64, geo.Chunks()),
+	}
+}
+
+// Node returns the VM's current location.
+func (im *SharedImage) Node() *fabric.Node { return im.node }
+
+// MoveTo rehomes the client side (the data never moves — it is shared).
+func (im *SharedImage) MoveTo(node *fabric.Node) { im.node = node }
+
+// Geometry implements vm.DiskImage.
+func (im *SharedImage) Geometry() chunk.Geometry { return im.geo }
+
+// ContentSnapshot returns per-chunk content IDs (tests).
+func (im *SharedImage) ContentSnapshot() []uint64 {
+	out := make([]uint64, len(im.content))
+	copy(out, im.content)
+	return out
+}
+
+// Read implements vm.DiskImage: written chunks come from the snapshot file,
+// untouched ones from the base file — all over the PFS.
+func (im *SharedImage) Read(p *sim.Proc, off, length int64) {
+	if length <= 0 {
+		return
+	}
+	first, last := im.geo.Span(chunk.Range{Off: off, Len: length})
+	for c := first; c <= last; {
+		inSnap := im.written.Contains(c)
+		end := c
+		for end+1 <= last && im.written.Contains(end+1) == inSnap {
+			end++
+		}
+		bytes := im.runBytes(off, length, c, end)
+		r1 := im.geo.ChunkRange(c)
+		src := im.base
+		if inSnap {
+			src = im.snap
+		}
+		src.Read(p, im.node, r1.Off, int64(bytes))
+		im.ReadBytes += bytes
+		c = end + 1
+	}
+}
+
+// Write implements vm.DiskImage: all writes go to the snapshot on the PFS.
+func (im *SharedImage) Write(p *sim.Proc, off, length int64) {
+	if length <= 0 {
+		return
+	}
+	im.seq++
+	im.snap.Write(p, im.node, off, length, pfs.ContentID(im.seq))
+	im.WriteBytes += float64(length)
+	first, last := im.geo.Span(chunk.Range{Off: off, Len: length})
+	for c := first; c <= last; c++ {
+		im.written.Add(c)
+		im.content[c] = im.seq
+	}
+}
+
+// Sync implements vm.DiskImage: the PFS is already coherent.
+func (im *SharedImage) Sync(p *sim.Proc) {}
+
+// runBytes returns the bytes of [off,off+length) that fall within chunks
+// [c..end].
+func (im *SharedImage) runBytes(off, length int64, c, end chunk.Idx) float64 {
+	return runBytes(im.geo, off, length, c, end)
+}
+
+func (im *COWImage) runBytes(off, length int64, c, end chunk.Idx) float64 {
+	return runBytes(im.geo, off, length, c, end)
+}
+
+// runBytes clips the request [off, off+length) to the chunk run [c..end].
+func runBytes(geo chunk.Geometry, off, length int64, c, end chunk.Idx) float64 {
+	lo := geo.ChunkRange(c).Off
+	hi := geo.ChunkRange(end).End()
+	if off > lo {
+		lo = off
+	}
+	if off+length < hi {
+		hi = off + length
+	}
+	if hi < lo {
+		return 0
+	}
+	return float64(hi - lo)
+}

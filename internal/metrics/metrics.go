@@ -1,0 +1,107 @@
+// Package metrics provides the small reporting utilities the experiment
+// harness uses: aligned text tables (the "rows the paper reports") and
+// unit-formatting helpers.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	header  []string
+	rows    [][]string
+	numeric []bool // column alignment: numeric columns are right-aligned
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, header: header, numeric: make([]bool, len(header))}
+}
+
+// AddRow appends a row; values are formatted with %v, float64 with %.2f.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+			if i < len(t.numeric) {
+				t.numeric[i] = true
+			}
+		case int, int64, uint64:
+			row[i] = fmt.Sprintf("%d", v)
+			if i < len(t.numeric) {
+				t.numeric[i] = true
+			}
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(t.numeric) && t.numeric[i] {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+				b.WriteString(c)
+			} else {
+				b.WriteString(c)
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// MB renders bytes as megabytes.
+func MB(bytes float64) float64 { return bytes / (1 << 20) }
+
+// GB renders bytes as gigabytes.
+func GB(bytes float64) float64 { return bytes / (1 << 30) }
+
+// Pct renders a 0..1 ratio as a percentage.
+func Pct(x float64) float64 { return x * 100 }
+
+// Ratio guards against division by zero.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

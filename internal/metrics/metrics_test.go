@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Title", "name", "value")
+	tab.AddRow("alpha", 1.5)
+	tab.AddRow("beta-longer", 42)
+	s := tab.String()
+	if !strings.HasPrefix(s, "Title\n") {
+		t.Fatalf("missing title: %q", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 { // title, header, rule, 2 rows -> 5? title+header+rule+2 = 5
+		if len(lines) != 5 {
+			t.Fatalf("lines = %d: %q", len(lines), s)
+		}
+	}
+	if !strings.Contains(s, "1.50") {
+		t.Fatalf("float not formatted: %q", s)
+	}
+	if !strings.Contains(s, "42") {
+		t.Fatalf("int missing: %q", s)
+	}
+	// Numeric columns right-align: the 42 row should pad on the left.
+	for _, l := range lines {
+		if strings.Contains(l, "beta-longer") && !strings.Contains(l, "   42") {
+			t.Fatalf("numeric column not right-aligned: %q", l)
+		}
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tab := NewTable("", "a")
+	tab.AddRow("x")
+	if strings.HasPrefix(tab.String(), "\n") {
+		t.Fatal("empty title produced a leading newline")
+	}
+}
+
+func TestUnitHelpers(t *testing.T) {
+	if MB(1<<20) != 1 || GB(1<<30) != 1 {
+		t.Fatal("unit conversions wrong")
+	}
+	if Pct(0.5) != 50 {
+		t.Fatal("Pct wrong")
+	}
+	if Ratio(1, 0) != 0 {
+		t.Fatal("Ratio must guard zero denominators")
+	}
+	if Ratio(6, 3) != 2 {
+		t.Fatal("Ratio wrong")
+	}
+}

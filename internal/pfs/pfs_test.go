@@ -1,0 +1,125 @@
+package pfs
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hybridmig/hybridmig/internal/fabric"
+	"github.com/hybridmig/hybridmig/internal/params"
+	"github.com/hybridmig/hybridmig/internal/sim"
+)
+
+func testFS(nServers int) (*sim.Engine, *fabric.Cluster, *FS) {
+	eng := sim.New()
+	tb := params.DefaultTestbed()
+	tb.NICBandwidth = 100
+	tb.DiskBandwidth = 50
+	tb.FabricBandwidth = 10000
+	tb.NetLatency = 0
+	tb.DiskLatency = 0
+	c := fabric.NewCluster(eng, nServers+2, tb)
+	fs := NewFS(c, c.Nodes[:nServers], Params{StripeSize: 100})
+	return eng, c, fs
+}
+
+func TestCreateOpen(t *testing.T) {
+	_, _, fs := testFS(2)
+	f := fs.Create("disk.qcow2", 950)
+	if f.Stripes() != 10 {
+		t.Fatalf("stripes = %d", f.Stripes())
+	}
+	if fs.Open("disk.qcow2") != f {
+		t.Fatal("Open did not find file")
+	}
+	if fs.Open("missing") != nil {
+		t.Fatal("Open invented a file")
+	}
+}
+
+func TestWriteUpdatesContent(t *testing.T) {
+	eng, c, fs := testFS(2)
+	f := fs.Create("f", 1000)
+	client := c.Nodes[3]
+	eng.Go("w", func(p *sim.Proc) {
+		f.Write(p, client, 150, 200, 42) // touches stripes 1,2,3
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []ContentID{0, 42, 42, 42, 0, 0, 0, 0, 0, 0}
+	for i, w := range want {
+		if f.ContentAt(i) != w {
+			t.Fatalf("content[%d] = %d, want %d", i, f.ContentAt(i), w)
+		}
+	}
+	if fs.WriteBytes() != 200 {
+		t.Fatalf("write bytes = %v, want 200", fs.WriteBytes())
+	}
+}
+
+func TestReadTiming(t *testing.T) {
+	// 400 bytes striped over 2 servers (200 each): each server flow is
+	// disk-bound at 50 B/s -> both finish at 4s; client NIC 100 not limiting.
+	eng, c, fs := testFS(2)
+	f := fs.Create("f", 400)
+	client := c.Nodes[3]
+	var doneAt sim.Time
+	eng.Go("r", func(p *sim.Proc) {
+		f.Read(p, client, 0, 400)
+		doneAt = p.Now()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(doneAt-4) > 1e-6 {
+		t.Fatalf("doneAt = %v, want 4", doneAt)
+	}
+	if fs.ReadBytes() != 400 {
+		t.Fatalf("read bytes = %v", fs.ReadBytes())
+	}
+}
+
+func TestPartialStripeAccounting(t *testing.T) {
+	eng, c, fs := testFS(2)
+	f := fs.Create("f", 1000)
+	client := c.Nodes[3]
+	eng.Go("w", func(p *sim.Proc) {
+		f.Write(p, client, 150, 100, 7) // 50 bytes in stripe 1, 50 in stripe 2
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fs.WriteBytes() != 100 {
+		t.Fatalf("write bytes = %v, want exactly the addressed 100", fs.WriteBytes())
+	}
+}
+
+func TestEveryIOCrossesNetwork(t *testing.T) {
+	// The essence of pvfs-shared: even small writes generate network traffic.
+	eng, c, fs := testFS(2)
+	f := fs.Create("f", 1000)
+	client := c.Nodes[3]
+	eng.Go("w", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			f.Write(p, client, int64(i*100), 100, ContentID(i))
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	fabricBytes := c.Fabric.Bytes()
+	if math.Abs(fabricBytes-1000) > 1e-6 {
+		t.Fatalf("fabric bytes = %v, want 1000", fabricBytes)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	_, _, fs := testFS(1)
+	f := fs.Create("f", 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.span(50, 100)
+}

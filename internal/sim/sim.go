@@ -1,0 +1,484 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel follows the classic process-interaction style (as popularized by
+// SimPy): simulation logic is written as ordinary sequential Go code inside
+// processes, and the engine interleaves processes on a virtual clock. Although
+// processes run on goroutines, exactly one goroutine is runnable at any
+// moment — the engine hands control to a process and does not proceed until
+// the process parks again — so simulations are fully deterministic and need
+// no locking.
+//
+// Time is measured in seconds as float64. Ties between events scheduled for
+// the same instant are broken by scheduling order (a monotonically increasing
+// sequence number), which keeps runs bit-reproducible.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Time is a point on the virtual clock, in seconds.
+type Time = float64
+
+// Duration is a span of virtual time, in seconds.
+type Duration = float64
+
+// errKilled is panicked inside process goroutines when the engine shuts
+// down; the process wrapper recovers it.
+var errKilled = errors.New("sim: process killed")
+
+// ErrStopped is returned by Run when the engine was stopped explicitly.
+var ErrStopped = errors.New("sim: engine stopped")
+
+// event is a scheduled callback.
+type event struct {
+	t        Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// eventHeap is a min-heap ordered by (time, sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled event; it can be canceled before it fires.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the timer's callback from running. It is safe to call
+// after the timer has fired (it then has no effect). Reports whether the
+// callback was still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.canceled || t.ev.fn == nil {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not usable;
+// call New.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	procs   map[*Proc]struct{}
+	order   []*Proc // live processes in spawn order, for deterministic kill
+	stopped bool
+	running bool
+	current *Proc // process currently executing, nil when in engine context
+}
+
+// New returns a fresh engine with the clock at zero.
+func New() *Engine {
+	return &Engine{procs: make(map[*Proc]struct{})}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is an
+// error and panics: it would break causality.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v", t))
+	}
+	ev := &event{t: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d seconds from now. Negative d is clamped to 0.
+func (e *Engine) After(d Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Run executes events until the queue drains or the engine is stopped.
+// It returns ErrStopped if Stop was called, nil otherwise.
+func (e *Engine) Run() error { return e.RunUntil(math.Inf(1)) }
+
+// RunUntil executes events with timestamps <= limit. The clock is left at
+// the time of the last executed event (or at limit if events remain beyond
+// it... the clock never advances past the last executed event).
+func (e *Engine) RunUntil(limit Time) error {
+	if e.running {
+		panic("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.queue) > 0 && !e.stopped {
+		ev := e.queue[0]
+		if ev.t > limit {
+			break
+		}
+		heap.Pop(&e.queue)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.t
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+	}
+	if e.stopped {
+		return ErrStopped
+	}
+	return nil
+}
+
+// Step executes the single next pending event, if any, and reports whether
+// an event ran. Used by tests that need fine-grained control.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.t
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		return true
+	}
+	return false
+}
+
+// Stop terminates the run loop after the current event and kills all live
+// processes so their goroutines exit. The engine cannot be reused afterwards.
+func (e *Engine) Stop() {
+	if e.stopped {
+		return
+	}
+	e.stopped = true
+	// Kill parked processes in spawn order for determinism. Processes that
+	// are currently running will observe stopped at their next park.
+	for _, p := range e.order {
+		if _, live := e.procs[p]; live && p != e.current && p.parked {
+			p.kill()
+		}
+	}
+}
+
+// Shutdown kills all live processes without requiring Run to be active.
+// Call it after Run returns to release goroutines from an abandoned
+// simulation (e.g. one that ended with blocked processes).
+func (e *Engine) Shutdown() {
+	e.stopped = true
+	for _, p := range e.order {
+		if _, live := e.procs[p]; live && p.parked {
+			p.kill()
+		}
+	}
+}
+
+// LiveProcs returns the number of processes that have started but not
+// finished. A structurally complete simulation drains to zero.
+func (e *Engine) LiveProcs() int { return len(e.procs) }
+
+// PendingEvents returns the number of events still queued (including
+// canceled tombstones). Intended for tests.
+func (e *Engine) PendingEvents() int { return len(e.queue) }
+
+// resumeMsg tells a parked process why it is being woken.
+type resumeMsg struct {
+	kill bool
+}
+
+// Proc is a simulation process: sequential code that can sleep on the
+// virtual clock and block on conditions. A Proc must only be used from its
+// own process function.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan resumeMsg
+	yield  chan struct{}
+	parked bool
+	dead   bool
+}
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Go spawns a new process. The function starts executing at the current
+// virtual time, after the spawning context yields to the engine (i.e. it is
+// scheduled, not run inline).
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan resumeMsg),
+		yield:  make(chan struct{}),
+		parked: true, // a fresh process waits on resume like a parked one
+	}
+	e.procs[p] = struct{}{}
+	e.order = append(e.order, p)
+	go p.top(fn)
+	e.After(0, func() { e.dispatch(p) })
+	return p
+}
+
+// top is the goroutine entry wrapper: it waits for the first dispatch, runs
+// fn, then announces termination to whoever is driving it.
+func (p *Proc) top(fn func(p *Proc)) {
+	defer func() {
+		p.dead = true
+		delete(p.eng.procs, p)
+		if r := recover(); r != nil {
+			if r == errKilled { //nolint:errorlint // sentinel identity is intended
+				p.yield <- struct{}{}
+				return
+			}
+			// Re-panic application errors on the engine side would lose the
+			// stack; crash here with context instead.
+			panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
+		}
+		p.yield <- struct{}{}
+	}()
+	msg := <-p.resume // first dispatch
+	if msg.kill {
+		panic(errKilled)
+	}
+	fn(p)
+}
+
+// dispatch hands control to p and returns once p parks or finishes.
+func (e *Engine) dispatch(p *Proc) {
+	if p.dead {
+		return
+	}
+	prev := e.current
+	e.current = p
+	p.parked = false
+	p.resume <- resumeMsg{}
+	<-p.yield
+	e.current = prev
+}
+
+// park yields control back to the engine and blocks until dispatched again.
+func (p *Proc) park() {
+	p.parked = true
+	p.yield <- struct{}{}
+	msg := <-p.resume
+	if msg.kill {
+		panic(errKilled)
+	}
+}
+
+// kill wakes a parked process with a kill order; its goroutine unwinds.
+func (p *Proc) kill() {
+	if p.dead || !p.parked {
+		return
+	}
+	p.parked = false
+	p.resume <- resumeMsg{kill: true}
+	<-p.yield
+}
+
+// Sleep suspends the process for d seconds of virtual time. Negative and
+// zero durations yield to the scheduler (other events at the current time
+// run first).
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e := p.eng
+	e.At(e.now+d, func() { e.dispatch(p) })
+	p.park()
+}
+
+// Yield lets every other event scheduled for the current instant run before
+// the process continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// block parks the process until someone calls unblock(p). It is the
+// low-level primitive behind Cond and other synchronization types.
+func (p *Proc) block() { p.park() }
+
+// unblock schedules p to resume at the current virtual time.
+func (e *Engine) unblock(p *Proc) {
+	e.After(0, func() { e.dispatch(p) })
+}
+
+// Cond is a FIFO condition variable for processes. The zero value is ready
+// to use once bound to an engine via its first Wait.
+type Cond struct {
+	waiters []*Proc
+}
+
+// Wait parks the calling process until Signal or Broadcast wakes it.
+// As with sync.Cond, callers re-check their predicate in a loop.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.block()
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal(e *Engine) {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	copy(c.waiters, c.waiters[1:])
+	c.waiters = c.waiters[:len(c.waiters)-1]
+	e.unblock(p)
+}
+
+// Broadcast wakes all waiting processes in FIFO order.
+func (c *Cond) Broadcast(e *Engine) {
+	for _, p := range c.waiters {
+		e.unblock(p)
+	}
+	c.waiters = c.waiters[:0]
+}
+
+// Waiting returns the number of processes parked on the condition.
+func (c *Cond) Waiting() int { return len(c.waiters) }
+
+// WaitFor parks p until pred() holds, re-checking after every wake-up.
+// pred must be a pure function of simulation state.
+func (c *Cond) WaitFor(p *Proc, pred func() bool) {
+	for !pred() {
+		c.Wait(p)
+	}
+}
+
+// Gate blocks processes until it is opened; once open it never blocks again.
+// It models one-shot readiness signals (e.g. "destination accepted control").
+type Gate struct {
+	open bool
+	cond Cond
+}
+
+// Open releases all current and future waiters.
+func (g *Gate) Open(e *Engine) {
+	if g.open {
+		return
+	}
+	g.open = true
+	g.cond.Broadcast(e)
+}
+
+// IsOpen reports whether the gate has been opened.
+func (g *Gate) IsOpen() bool { return g.open }
+
+// Wait parks until the gate is open.
+func (g *Gate) Wait(p *Proc) {
+	for !g.open {
+		g.cond.Wait(p)
+	}
+}
+
+// WaitGroup counts outstanding work items; Wait blocks until zero.
+type WaitGroup struct {
+	n    int
+	cond Cond
+}
+
+// Add increments the counter by delta (may be negative via Done).
+func (w *WaitGroup) Add(delta int) {
+	w.n += delta
+	if w.n < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+}
+
+// Done decrements the counter and wakes waiters at zero.
+func (w *WaitGroup) Done(e *Engine) {
+	w.n--
+	if w.n < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if w.n == 0 {
+		w.cond.Broadcast(e)
+	}
+}
+
+// Count returns the current counter value.
+func (w *WaitGroup) Count() int { return w.n }
+
+// Wait parks until the counter reaches zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	for w.n > 0 {
+		w.cond.Wait(p)
+	}
+}
+
+// Semaphore is a counting semaphore with FIFO wake-up.
+type Semaphore struct {
+	avail int
+	cond  Cond
+}
+
+// NewSemaphore returns a semaphore with n initial permits.
+func NewSemaphore(n int) *Semaphore { return &Semaphore{avail: n} }
+
+// Acquire takes one permit, blocking while none are available.
+func (s *Semaphore) Acquire(p *Proc) {
+	for s.avail <= 0 {
+		s.cond.Wait(p)
+	}
+	s.avail--
+}
+
+// TryAcquire takes a permit without blocking; reports success.
+func (s *Semaphore) TryAcquire() bool {
+	if s.avail <= 0 {
+		return false
+	}
+	s.avail--
+	return true
+}
+
+// Release returns one permit and wakes a waiter.
+func (s *Semaphore) Release(e *Engine) {
+	s.avail++
+	s.cond.Signal(e)
+}
+
+// Available returns the number of free permits.
+func (s *Semaphore) Available() int { return s.avail }

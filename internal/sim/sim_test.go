@@ -1,0 +1,370 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.At(2, func() { got = append(got, 2) })
+	e.At(1, func() { got = append(got, 1) })
+	e.At(3, func() { got = append(got, 3) })
+	e.At(1, func() { got = append(got, 10) }) // same time: scheduling order
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 10, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", e.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.At(1, func() {})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	e := New()
+	fired := false
+	tm := e.At(1, func() { fired = true })
+	if !tm.Cancel() {
+		t.Error("first Cancel should report pending")
+	}
+	if tm.Cancel() {
+		t.Error("second Cancel should report not pending")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("canceled timer fired")
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	e := New()
+	var times []Time
+	e.Go("sleeper", func(p *Proc) {
+		times = append(times, p.Now())
+		p.Sleep(1.5)
+		times = append(times, p.Now())
+		p.Sleep(0.5)
+		times = append(times, p.Now())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{0, 1.5, 2}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d, want 0", e.LiveProcs())
+	}
+}
+
+func TestInterleavingDeterminism(t *testing.T) {
+	run := func() []string {
+		e := New()
+		var log []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			e.Go(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					log = append(log, name)
+					p.Sleep(1)
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		again := run()
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("run %d diverged at %d: %v vs %v", i, j, first, again)
+			}
+		}
+	}
+}
+
+func TestCondFIFO(t *testing.T) {
+	e := New()
+	var c Cond
+	var woke []string
+	ready := 0
+	for _, name := range []string{"w1", "w2", "w3"} {
+		name := name
+		e.Go(name, func(p *Proc) {
+			ready++
+			c.Wait(p)
+			woke = append(woke, name)
+		})
+	}
+	e.Go("signaler", func(p *Proc) {
+		for ready < 3 {
+			p.Yield()
+		}
+		c.Signal(e)
+		p.Sleep(1)
+		c.Broadcast(e)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(woke) != 3 || woke[0] != "w1" {
+		t.Fatalf("wake order = %v", woke)
+	}
+}
+
+func TestGate(t *testing.T) {
+	e := New()
+	var g Gate
+	passed := 0
+	for i := 0; i < 3; i++ {
+		e.Go("waiter", func(p *Proc) {
+			g.Wait(p)
+			passed++
+		})
+	}
+	e.Go("opener", func(p *Proc) {
+		p.Sleep(2)
+		g.Open(e)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if passed != 3 {
+		t.Fatalf("passed = %d, want 3", passed)
+	}
+	// After opening, Wait must not block.
+	e2 := New()
+	var g2 Gate
+	g2.Open(e2)
+	done := false
+	e2.Go("late", func(p *Proc) {
+		g2.Wait(p)
+		done = true
+	})
+	if err := e2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("late waiter blocked on open gate")
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	e := New()
+	var wg WaitGroup
+	wg.Add(3)
+	finished := Time(-1)
+	for i := 1; i <= 3; i++ {
+		d := Duration(i)
+		e.Go("worker", func(p *Proc) {
+			p.Sleep(d)
+			wg.Done(e)
+		})
+	}
+	e.Go("waiter", func(p *Proc) {
+		wg.Wait(p)
+		finished = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if finished != 3 {
+		t.Fatalf("waiter finished at %v, want 3", finished)
+	}
+}
+
+func TestSemaphore(t *testing.T) {
+	e := New()
+	s := NewSemaphore(2)
+	concurrent, maxConcurrent := 0, 0
+	for i := 0; i < 5; i++ {
+		e.Go("user", func(p *Proc) {
+			s.Acquire(p)
+			concurrent++
+			if concurrent > maxConcurrent {
+				maxConcurrent = concurrent
+			}
+			p.Sleep(1)
+			concurrent--
+			s.Release(e)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxConcurrent != 2 {
+		t.Fatalf("maxConcurrent = %d, want 2", maxConcurrent)
+	}
+	if s.Available() != 2 {
+		t.Fatalf("Available = %d, want 2", s.Available())
+	}
+}
+
+func TestShutdownReleasesBlockedProcs(t *testing.T) {
+	e := New()
+	var c Cond
+	e.Go("stuck", func(p *Proc) { c.Wait(p) })
+	e.Go("stuck2", func(p *Proc) { p.Sleep(1); c.Wait(p) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.LiveProcs() != 2 {
+		t.Fatalf("LiveProcs before shutdown = %d, want 2", e.LiveProcs())
+	}
+	e.Shutdown()
+	if e.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs after shutdown = %d, want 0", e.LiveProcs())
+	}
+}
+
+func TestStopFromProcess(t *testing.T) {
+	e := New()
+	reached := false
+	e.Go("stopper", func(p *Proc) {
+		p.Sleep(1)
+		e.Stop()
+	})
+	e.Go("other", func(p *Proc) {
+		p.Sleep(100)
+		reached = true
+	})
+	err := e.Run()
+	if err != ErrStopped {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if reached {
+		t.Error("event after Stop ran")
+	}
+	if e.Now() != 1 {
+		t.Fatalf("clock = %v, want 1", e.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i), func() { count++ })
+	}
+	if err := e.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+}
+
+// TestClockMonotonic is a property test: for any random schedule of nested
+// events and sleeps, observed time never decreases.
+func TestClockMonotonic(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		last := Time(-1)
+		ok := true
+		var observe func()
+		observe = func() {
+			if e.Now() < last {
+				ok = false
+			}
+			last = e.Now()
+			if rng.Intn(3) == 0 {
+				e.After(rng.Float64(), observe)
+			}
+		}
+		for i := 0; i < int(n%20)+1; i++ {
+			e.At(rng.Float64()*10, observe)
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestManyProcs exercises the dispatcher with a large number of processes to
+// catch goroutine handoff bugs.
+func TestManyProcs(t *testing.T) {
+	e := New()
+	total := 0
+	for i := 0; i < 500; i++ {
+		e.Go("p", func(p *Proc) {
+			for j := 0; j < 10; j++ {
+				p.Sleep(0.1)
+			}
+			total++
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if total != 500 {
+		t.Fatalf("total = %d, want 500", total)
+	}
+}
+
+func TestCondWaitFor(t *testing.T) {
+	e := New()
+	var c Cond
+	x := 0
+	doneAt := Time(-1)
+	e.Go("waiter", func(p *Proc) {
+		c.WaitFor(p, func() bool { return x >= 3 })
+		doneAt = p.Now()
+	})
+	e.Go("incr", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(1)
+			x++
+			c.Broadcast(e)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if doneAt != 3 {
+		t.Fatalf("doneAt = %v, want 3", doneAt)
+	}
+}
