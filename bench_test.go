@@ -176,6 +176,68 @@ func BenchmarkAblateBasePrefetch(b *testing.B) { ablationMetric(b, experiments.A
 func BenchmarkAblateDedup(b *testing.B)        { ablationMetric(b, experiments.AblateDedup) }
 func BenchmarkAblateCompression(b *testing.B)  { ablationMetric(b, experiments.AblateCompression) }
 
+// campaignCache keeps one campaign-per-policy run of the orchestrated
+// experiment (our approach) so the four policy benches share it.
+var campaignCache = map[experiments.Scale][]experiments.CampaignRow{}
+
+func campaignRows(b *testing.B) []experiments.CampaignRow {
+	b.Helper()
+	s := benchScale()
+	if rows, ok := campaignCache[s]; ok {
+		return rows
+	}
+	rows := experiments.RunCampaignApproach(s, cluster.OurApproach)
+	campaignCache[s] = rows
+	return rows
+}
+
+func campaignMetric(b *testing.B, pick func(experiments.CampaignRow) float64, unit string) {
+	b.Helper()
+	var rows []experiments.CampaignRow
+	for i := 0; i < b.N; i++ {
+		rows = campaignRows(b)
+	}
+	for _, r := range rows {
+		b.ReportMetric(pick(r), r.Policy+"_"+unit)
+	}
+}
+
+func BenchmarkCampaignMakespan(b *testing.B) {
+	campaignMetric(b, func(r experiments.CampaignRow) float64 { return r.Makespan }, "s")
+}
+
+func BenchmarkCampaignDowntime(b *testing.B) {
+	campaignMetric(b, func(r experiments.CampaignRow) float64 { return r.TotalDowntimeMS }, "ms")
+}
+
+func BenchmarkCampaignTraffic(b *testing.B) {
+	campaignMetric(b, func(r experiments.CampaignRow) float64 { return r.TrafficGB }, "GB")
+}
+
+// BenchmarkFacadeCampaign exercises the orchestration API end to end: a
+// four-VM fleet migrated as one batched campaign through the facade.
+func BenchmarkFacadeCampaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := hybridmig.SmallConfig(8)
+		tb := hybridmig.NewTestbed(cfg)
+		reqs := make([]hybridmig.MigrationRequest, 4)
+		for k := range reqs {
+			inst := tb.Launch("vm"+itoa(k), k, hybridmig.OurApproach)
+			reqs[k] = hybridmig.MigrationRequest{Inst: inst, DstIdx: 4 + k}
+		}
+		var c *hybridmig.Campaign
+		tb.Eng.Go("orch", func(p *hybridmig.Proc) {
+			p.Sleep(1)
+			c = tb.MigrateAll(p, reqs, hybridmig.BatchedK(2))
+		})
+		hybridmig.Run(tb)
+		if c == nil || c.Jobs != 4 {
+			b.Fatal("campaign incomplete")
+		}
+		b.ReportMetric(c.Makespan(), "makespan_s")
+	}
+}
+
 // BenchmarkFacadeQuickstart exercises the public API end to end: one VM,
 // one migration, under the quickstart scenario.
 func BenchmarkFacadeQuickstart(b *testing.B) {

@@ -1,11 +1,14 @@
-// Command migsim runs a single live-migration scenario: one VM under a
-// chosen workload and storage transfer approach, migrated after a warm-up,
-// with a full measurement summary.
+// Command migsim runs live-migration scenarios. In single-VM mode (the
+// default) one VM runs a chosen workload and storage transfer approach and
+// is migrated after a warm-up, with a full measurement summary. With -vms N
+// (N > 1) it runs a campaign: a fleet of N VMs migrates together under an
+// orchestration policy, and the campaign aggregates are reported.
 //
 // Usage:
 //
 //	migsim [-approach our-approach|mirror|postcopy|precopy|pvfs-shared]
 //	       [-workload ior|asyncwr|none] [-scale small|paper] [-warmup s]
+//	       [-vms n] [-policy all-at-once|serial|batched-k|cycle-aware] [-k n]
 package main
 
 import (
@@ -25,6 +28,9 @@ func main() {
 	workloadName := flag.String("workload", "ior", "guest workload: ior, asyncwr, none")
 	scaleName := flag.String("scale", "small", "small or paper")
 	warmup := flag.Float64("warmup", -1, "seconds before the migration (default: scale's warm-up)")
+	vms := flag.Int("vms", 1, "number of VMs; > 1 runs an orchestrated campaign")
+	policyName := flag.String("policy", "batched-k", "campaign policy: all-at-once, serial, batched-k, cycle-aware")
+	batchK := flag.Int("k", 2, "admission width for the batched-k and cycle-aware policies")
 	flag.Parse()
 
 	var approach hybridmig.Approach
@@ -41,9 +47,77 @@ func main() {
 	if *scaleName == "paper" {
 		scale = experiments.ScalePaper
 	}
+	if *vms > 1 {
+		var pol hybridmig.Policy
+		switch *policyName {
+		case "all-at-once":
+			pol = hybridmig.AllAtOnce()
+		case "serial":
+			pol = hybridmig.Serial()
+		case "batched-k":
+			pol = hybridmig.BatchedK(*batchK)
+		case "cycle-aware":
+			pol = hybridmig.CycleAware(*batchK)
+		default:
+			fmt.Fprintf(os.Stderr, "migsim: unknown policy %q\n", *policyName)
+			os.Exit(2)
+		}
+		runCampaign(scale, approach, *workloadName, *warmup, *vms, pol)
+		return
+	}
+	runSingle(scale, approach, *workloadName, *warmup)
+}
+
+// runCampaign migrates a fleet of n VMs together under the policy, packing
+// two migrations per destination node as in the campaign experiment.
+func runCampaign(scale experiments.Scale, approach hybridmig.Approach, workloadName string, warmup float64, n int, pol hybridmig.Policy) {
+	set := experiments.NewSetup(scale, n+(n+1)/2)
+	if warmup >= 0 {
+		set.Warmup = warmup
+	}
+	tb := hybridmig.NewTestbed(set.Cluster)
+	reqs := make([]hybridmig.MigrationRequest, n)
+	for i := 0; i < n; i++ {
+		i := i
+		inst := tb.Launch(fmt.Sprintf("vm%02d", i), i, approach)
+		switch workloadName {
+		case "ior":
+			inst.Guest.Buffered = false
+			w := workload.NewIOR(set.IOR)
+			tb.Eng.Go(fmt.Sprintf("ior%02d", i), func(p *sim.Proc) { w.Run(p, inst.Guest) })
+		case "asyncwr":
+			w := workload.NewAsyncWR(set.AsyncWR)
+			tb.Eng.Go(fmt.Sprintf("asyncwr%02d", i), func(p *sim.Proc) { w.Run(p, inst.Guest) })
+		case "none":
+		default:
+			fmt.Fprintf(os.Stderr, "migsim: unknown workload %q\n", workloadName)
+			os.Exit(2)
+		}
+		reqs[i] = hybridmig.MigrationRequest{Inst: inst, DstIdx: n + i/2}
+	}
+	var c *hybridmig.Campaign
+	tb.Eng.Go("orchestrator", func(p *sim.Proc) {
+		p.Sleep(set.Warmup)
+		c = tb.MigrateAll(p, reqs, pol)
+	})
+	hybridmig.Run(tb)
+
+	fmt.Printf("approach:  %s\n", approach)
+	fmt.Printf("workload:  %s (%s scale), %d VMs, policy %s\n\n", workloadName, scale, n, pol.Name())
+	fmt.Println(c.Summary())
+	if len(c.Traffic) > 0 {
+		fmt.Println("traffic during campaign:")
+		for _, tbytes := range c.Traffic {
+			fmt.Printf("  %-8s %8.1f MB\n", tbytes.Tag, tbytes.Bytes/(1<<20))
+		}
+	}
+}
+
+// runSingle is the original one-VM scenario.
+func runSingle(scale experiments.Scale, approach hybridmig.Approach, workloadName string, warmup float64) {
 	set := experiments.NewSetup(scale, 10)
-	if *warmup >= 0 {
-		set.Warmup = *warmup
+	if warmup >= 0 {
+		set.Warmup = warmup
 	}
 
 	tb := hybridmig.NewTestbed(set.Cluster)
@@ -51,7 +125,7 @@ func main() {
 
 	var ior *workload.IOR
 	var awr *workload.AsyncWR
-	switch *workloadName {
+	switch workloadName {
 	case "ior":
 		inst.Guest.Buffered = false
 		ior = workload.NewIOR(set.IOR)
@@ -61,7 +135,7 @@ func main() {
 		tb.Eng.Go("asyncwr", func(p *sim.Proc) { awr.Run(p, inst.Guest) })
 	case "none":
 	default:
-		fmt.Fprintf(os.Stderr, "migsim: unknown workload %q\n", *workloadName)
+		fmt.Fprintf(os.Stderr, "migsim: unknown workload %q\n", workloadName)
 		os.Exit(2)
 	}
 
@@ -72,7 +146,7 @@ func main() {
 	hybridmig.Run(tb)
 
 	fmt.Printf("approach:        %s\n", approach)
-	fmt.Printf("workload:        %s (%s scale)\n", *workloadName, scale)
+	fmt.Printf("workload:        %s (%s scale)\n", workloadName, scale)
 	fmt.Printf("migration time:  %.2f s\n", inst.MigrationTime)
 	fmt.Printf("downtime:        %.0f ms\n", inst.HVResult.Downtime*1000)
 	fmt.Printf("memory moved:    %.1f MB in %d rounds (converged=%v)\n",

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	paperrepro [-experiment table1|fig3|fig4|fig5|all] [-scale small|paper]
+//	paperrepro [-experiment table1|fig3|fig4|fig5|campaign|all] [-scale small|paper]
 //
 // At -scale paper the runs use the full Section 5 parameters (4 GB images
 // and RAM, 100 s warm-up, up to 30 concurrent migrations, 64 CM1 ranks);
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "which artifact to regenerate: table1, fig3, fig4, fig5, all")
+	exp := flag.String("experiment", "all", "which artifact to regenerate: table1, fig3, fig4, fig5, campaign, all")
 	scaleName := flag.String("scale", "small", "run size: small or paper")
 	flag.Parse()
 
@@ -73,6 +73,15 @@ func main() {
 			fmt.Println(t)
 		}
 		fmt.Printf("(fig5 %s scale: %.1fs wall)\n\n", scale, time.Since(start).Seconds())
+	}
+	if want("campaign") {
+		ran = true
+		start := time.Now()
+		rows := experiments.RunCampaign(scale)
+		for _, t := range experiments.CampaignTables(scale, rows) {
+			fmt.Println(t)
+		}
+		fmt.Printf("(campaign %s scale: %.1fs wall)\n\n", scale, time.Since(start).Seconds())
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "paperrepro: unknown experiment %q\n", *exp)

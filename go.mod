@@ -1,0 +1,3 @@
+module github.com/hybridmig/hybridmig
+
+go 1.24

@@ -36,7 +36,9 @@ package hybridmig
 import (
 	"github.com/hybridmig/hybridmig/internal/cluster"
 	"github.com/hybridmig/hybridmig/internal/experiments"
+	"github.com/hybridmig/hybridmig/internal/metrics"
 	"github.com/hybridmig/hybridmig/internal/params"
+	"github.com/hybridmig/hybridmig/internal/sched"
 	"github.com/hybridmig/hybridmig/internal/sim"
 	"github.com/hybridmig/hybridmig/internal/workload"
 )
@@ -93,6 +95,34 @@ func Run(tb *Testbed) {
 	}
 	tb.Eng.Shutdown()
 }
+
+// Campaign orchestration: batches of simultaneous migrations executed under
+// an admission policy (see internal/sched and DESIGN.md §9).
+type (
+	// Policy decides when each migration of a campaign runs.
+	Policy = sched.Policy
+	// Orchestrator executes migration campaigns; Testbed.MigrateAll wraps
+	// one, so most callers never construct it directly.
+	Orchestrator = sched.Orchestrator
+	// MigrationRequest is one instance → destination-node pair of a campaign.
+	MigrationRequest = cluster.MigrationRequest
+	// Campaign is the aggregate result of one orchestrated batch of
+	// migrations: makespan, total downtime, peak concurrency, traffic.
+	Campaign = metrics.Campaign
+)
+
+// NewOrchestrator builds a standalone orchestrator over the testbed's
+// engine and network (Testbed.MigrateAll is the usual entry point).
+func NewOrchestrator(tb *Testbed) *Orchestrator { return sched.New(tb.Eng, tb.Cl.Net) }
+
+// The four campaign policies.
+func AllAtOnce() Policy       { return sched.AllAtOnce{} }
+func Serial() Policy          { return sched.Serial{} }
+func BatchedK(k int) Policy   { return sched.BatchedK{K: k} }
+func CycleAware(k int) Policy { return sched.CycleAware{K: k} }
+
+// Policies returns the standard policy set for a campaign of n migrations.
+func Policies(n int) []Policy { return sched.Policies(n) }
 
 // Workloads of the paper's evaluation (Section 5.3-5.5).
 type (

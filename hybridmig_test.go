@@ -66,6 +66,47 @@ func TestPublicAPIAllApproaches(t *testing.T) {
 	}
 }
 
+// TestPublicAPICampaign drives the orchestration surface end to end: a
+// four-VM fleet migrated as one campaign under each of the four policies,
+// entirely through the facade.
+func TestPublicAPICampaign(t *testing.T) {
+	pols := hybridmig.Policies(4)
+	if len(pols) != 4 {
+		t.Fatalf("policy set size %d", len(pols))
+	}
+	pols = append(pols, hybridmig.AllAtOnce(), hybridmig.Serial(),
+		hybridmig.BatchedK(3), hybridmig.CycleAware(2))
+	for _, pol := range pols {
+		cfg := hybridmig.SmallConfig(8)
+		tb := hybridmig.NewTestbed(cfg)
+		reqs := make([]hybridmig.MigrationRequest, 4)
+		for k := range reqs {
+			inst := tb.Launch(fmt.Sprintf("vm%d", k), k, hybridmig.OurApproach)
+			reqs[k] = hybridmig.MigrationRequest{Inst: inst, DstIdx: 4 + k}
+		}
+		var c *hybridmig.Campaign
+		tb.Eng.Go("orch", func(p *hybridmig.Proc) {
+			p.Sleep(1)
+			c = tb.MigrateAll(p, reqs, pol)
+		})
+		hybridmig.Run(tb)
+		if c == nil {
+			t.Fatalf("%s: campaign incomplete", pol.Name())
+		}
+		if c.Jobs != 4 || c.Makespan() <= 0 || c.TransferredBytes <= 0 {
+			t.Errorf("%s: degenerate campaign %+v", pol.Name(), c)
+		}
+		for k, r := range reqs {
+			if !r.Inst.Migrated {
+				t.Errorf("%s: vm%d not migrated", pol.Name(), k)
+			}
+			if r.Inst.VM.Node != tb.Cl.Nodes[4+k] {
+				t.Errorf("%s: vm%d not on destination", pol.Name(), k)
+			}
+		}
+	}
+}
+
 // TestPublicAPICM1 runs the CM1 workload through the facade with one
 // migration, checking the barrier-coupled application keeps its shape.
 func TestPublicAPICM1(t *testing.T) {

@@ -15,8 +15,10 @@ import (
 	"github.com/hybridmig/hybridmig/internal/fabric"
 	"github.com/hybridmig/hybridmig/internal/guest"
 	"github.com/hybridmig/hybridmig/internal/hv"
+	"github.com/hybridmig/hybridmig/internal/metrics"
 	"github.com/hybridmig/hybridmig/internal/params"
 	"github.com/hybridmig/hybridmig/internal/pfs"
+	"github.com/hybridmig/hybridmig/internal/sched"
 	"github.com/hybridmig/hybridmig/internal/sim"
 	"github.com/hybridmig/hybridmig/internal/vm"
 )
@@ -318,4 +320,42 @@ func (tb *Testbed) MigrateInstance(p *sim.Proc, inst *Instance, dstIdx int) {
 	}
 	inst.Migrated = true
 	inst.Done.Open(tb.Eng)
+}
+
+// MigrationRequest names one migration of a campaign: an instance and the
+// index of its destination node.
+type MigrationRequest struct {
+	Inst   *Instance
+	DstIdx int
+}
+
+// lowIOFraction is the dirty-cache cutoff for the cycle-aware policy: a VM
+// whose guest cache holds less than this fraction of its dirty limit is in a
+// low-I/O window (writers idle or draining, not pushing against throttle).
+const lowIOFraction = 8
+
+// LowIO reports whether the instance's workload is currently in a low-I/O
+// window, judged by how much dirty data sits in its guest cache. Workload
+// cycles (IOR's write/read phases, AsyncWR's compute/write alternation) show
+// up directly in this signal.
+func (tb *Testbed) LowIO(inst *Instance) bool {
+	return inst.Guest.Cache.DirtyBytes() <= tb.Cfg.Guest.DirtyLimit/lowIOFraction
+}
+
+// MigrateAll executes a campaign of migrations under the policy, blocking
+// until every request has completed, and returns the campaign's aggregate
+// stats. Requests are admitted in slice order; identical inputs yield
+// identical campaigns (the simulation stays deterministic).
+func (tb *Testbed) MigrateAll(p *sim.Proc, reqs []MigrationRequest, pol sched.Policy) *metrics.Campaign {
+	jobs := make([]sched.Job, len(reqs))
+	for i, r := range reqs {
+		r := r
+		jobs[i] = sched.Job{
+			Name:     r.Inst.Name,
+			Run:      func(jp *sim.Proc) { tb.MigrateInstance(jp, r.Inst, r.DstIdx) },
+			LowIO:    func() bool { return tb.LowIO(r.Inst) },
+			Downtime: func() float64 { return r.Inst.HVResult.Downtime },
+		}
+	}
+	return sched.New(tb.Eng, tb.Cl.Net).Run(p, jobs, pol)
 }

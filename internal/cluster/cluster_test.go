@@ -4,7 +4,9 @@ import (
 	"testing"
 
 	"github.com/hybridmig/hybridmig/internal/flow"
+	"github.com/hybridmig/hybridmig/internal/metrics"
 	"github.com/hybridmig/hybridmig/internal/params"
+	"github.com/hybridmig/hybridmig/internal/sched"
 	"github.com/hybridmig/hybridmig/internal/sim"
 )
 
@@ -195,5 +197,76 @@ func TestTable1Descriptions(t *testing.T) {
 	}
 	if len(Approaches()) != 5 {
 		t.Fatal("the paper compares exactly five approaches")
+	}
+}
+
+// TestMigrateAllCampaign migrates three idle VMs as one serial campaign and
+// checks the orchestrator moved every instance and produced coherent stats.
+func TestMigrateAllCampaign(t *testing.T) {
+	tb := New(SmallConfig(6))
+	reqs := make([]MigrationRequest, 3)
+	for i := range reqs {
+		inst := tb.Launch(string(rune('a'+i)), i, OurApproach)
+		reqs[i] = MigrationRequest{Inst: inst, DstIdx: 3 + i}
+	}
+	var c *metrics.Campaign
+	tb.Eng.Go("orch", func(p *sim.Proc) {
+		p.Sleep(1)
+		c = tb.MigrateAll(p, reqs, sched.Serial{})
+	})
+	if err := tb.Eng.RunUntil(1e6); err != nil {
+		t.Fatal(err)
+	}
+	tb.Eng.Shutdown()
+	if c == nil {
+		t.Fatal("campaign incomplete")
+	}
+	if c.PeakConcurrent != 1 {
+		t.Errorf("serial campaign peak = %d", c.PeakConcurrent)
+	}
+	if c.TotalDowntime <= 0 {
+		t.Errorf("downtime = %v", c.TotalDowntime)
+	}
+	prevEnd := 0.0
+	for i, r := range reqs {
+		if !r.Inst.Migrated {
+			t.Fatalf("instance %d not migrated", i)
+		}
+		if r.Inst.VM.Node != tb.Cl.Nodes[3+i] {
+			t.Errorf("instance %d on %v, want node %d", i, r.Inst.VM.Node, 3+i)
+		}
+		js := c.JobStats[i]
+		if js.Started < prevEnd {
+			t.Errorf("serial job %d started %v before predecessor finished %v", i, js.Started, prevEnd)
+		}
+		prevEnd = js.Finished
+		if js.Downtime != r.Inst.HVResult.Downtime {
+			t.Errorf("job %d downtime %v != instance downtime %v", i, js.Downtime, r.Inst.HVResult.Downtime)
+		}
+	}
+}
+
+// TestLowIOSignal checks the cycle-aware admission probe: a freshly idle VM
+// is in a low-I/O window; one that just buffered a large write is not.
+func TestLowIOSignal(t *testing.T) {
+	tb := New(SmallConfig(2))
+	inst := tb.Launch("vm", 0, OurApproach)
+	var busy, idle bool
+	tb.Eng.Go("probe", func(p *sim.Proc) {
+		f := inst.Guest.FS.Create("d", 64<<20)
+		inst.Guest.FS.Write(p, f, 0, 48<<20)
+		busy = tb.LowIO(inst)    // dirty cache right after the write
+		inst.Guest.Cache.Sync(p) // drain writeback
+		idle = tb.LowIO(inst)
+	})
+	if err := tb.Eng.RunUntil(1e6); err != nil {
+		t.Fatal(err)
+	}
+	tb.Eng.Shutdown()
+	if busy {
+		t.Error("LowIO true immediately after writing 48 MB")
+	}
+	if !idle {
+		t.Error("LowIO false after the cache drained")
 	}
 }

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hybridmig/hybridmig/internal/cluster"
+	"github.com/hybridmig/hybridmig/internal/metrics"
+	"github.com/hybridmig/hybridmig/internal/sched"
+)
+
+// measurably reports a relative difference of at least 5% between two
+// aggregates — the bar for "the policy changed the outcome".
+func measurably(a, b float64) bool {
+	if a == 0 && b == 0 {
+		return false
+	}
+	return math.Abs(a-b) > 0.05*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// TestCampaignPoliciesDiffer is the acceptance experiment: a fleet of 8 IOR
+// VMs migrates under all-at-once, batched-2 and serial, for both our
+// approach and the precopy baseline. Admission control must change the
+// campaign shape: all-at-once runs all 8 at once, serial exactly 1, and the
+// makespan/downtime aggregates must measurably differ from all-at-once.
+func TestCampaignPoliciesDiffer(t *testing.T) {
+	n := CampaignVMs(ScaleSmall)
+	if n < 8 {
+		t.Fatalf("campaign fleet %d, want >= 8", n)
+	}
+	for _, a := range []cluster.Approach{cluster.OurApproach, cluster.Precopy} {
+		all := RunCampaignOne(ScaleSmall, a, sched.AllAtOnce{})
+		ser := RunCampaignOne(ScaleSmall, a, sched.Serial{})
+		bat := RunCampaignOne(ScaleSmall, a, sched.BatchedK{K: 2})
+
+		if all.PeakConcurrent != n {
+			t.Errorf("%s: all-at-once peak = %d, want %d simultaneous migrations", a, all.PeakConcurrent, n)
+		}
+		if ser.PeakConcurrent != 1 {
+			t.Errorf("%s: serial peak = %d, want 1", a, ser.PeakConcurrent)
+		}
+		if bat.PeakConcurrent != 2 {
+			t.Errorf("%s: batched-2 peak = %d, want 2", a, bat.PeakConcurrent)
+		}
+		for _, c := range []*metrics.Campaign{all, ser, bat} {
+			if c.Jobs != n || len(c.JobStats) != n {
+				t.Fatalf("%s/%s: job accounting %d/%d", a, c.Policy, c.Jobs, len(c.JobStats))
+			}
+			if c.Makespan() <= 0 || c.TotalDowntime <= 0 || c.TransferredBytes <= 0 {
+				t.Errorf("%s/%s: degenerate aggregates %+v", a, c.Policy, c)
+			}
+		}
+		if !measurably(ser.Makespan(), all.Makespan()) && !measurably(ser.TotalDowntime, all.TotalDowntime) {
+			t.Errorf("%s: serial (makespan %.2f, downtime %.3f) indistinguishable from all-at-once (%.2f, %.3f)",
+				a, ser.Makespan(), ser.TotalDowntime, all.Makespan(), all.TotalDowntime)
+		}
+		if !measurably(bat.Makespan(), all.Makespan()) && !measurably(bat.TotalDowntime, all.TotalDowntime) {
+			t.Errorf("%s: batched-2 (makespan %.2f, downtime %.3f) indistinguishable from all-at-once (%.2f, %.3f)",
+				a, bat.Makespan(), bat.TotalDowntime, all.Makespan(), all.TotalDowntime)
+		}
+	}
+}
+
+// TestCampaignDeterminism repeats one campaign and requires bit-identical
+// aggregate and per-job stats: orchestration must not break the simulation's
+// determinism.
+func TestCampaignDeterminism(t *testing.T) {
+	for _, a := range []cluster.Approach{cluster.OurApproach, cluster.Precopy} {
+		x := RunCampaignOne(ScaleSmall, a, sched.BatchedK{K: 2})
+		y := RunCampaignOne(ScaleSmall, a, sched.BatchedK{K: 2})
+		if x.Makespan() != y.Makespan() || x.TotalDowntime != y.TotalDowntime ||
+			x.TransferredBytes != y.TransferredBytes || x.PeakConcurrent != y.PeakConcurrent ||
+			x.PeakFlows != y.PeakFlows {
+			t.Errorf("%s: repeated campaign aggregates differ:\n%+v\n%+v", a, x, y)
+		}
+		for i := range x.JobStats {
+			if x.JobStats[i] != y.JobStats[i] {
+				t.Errorf("%s: job %d stats differ: %+v vs %+v", a, i, x.JobStats[i], y.JobStats[i])
+			}
+		}
+	}
+}
+
+// TestCampaignCycleAwareDefers checks that the cycle-aware policy actually
+// defers at least one VM beyond immediate admission (the fleet's caches are
+// dirty right after the warm-up's write phases), while still completing the
+// whole campaign within the defer budget.
+func TestCampaignCycleAwareDefers(t *testing.T) {
+	c := RunCampaignOne(ScaleSmall, cluster.OurApproach, sched.CycleAware{MaxDefer: 10})
+	deferred := 0
+	for _, j := range c.JobStats {
+		if j.Wait() > 0.2 {
+			deferred++
+		}
+		if j.Wait() > 10.6 {
+			t.Errorf("job %s waited %.2f s, beyond the 10 s defer budget", j.Name, j.Wait())
+		}
+	}
+	if deferred == 0 {
+		t.Error("cycle-aware campaign deferred no VM at all; window probe is dead")
+	}
+}
+
+// TestCampaignTablesRender exercises the full runner and its rendering for
+// one approach (keeping test time bounded) plus the table assembly for all.
+func TestCampaignTablesRender(t *testing.T) {
+	rows := RunCampaignApproach(ScaleSmall, cluster.PVFSShared)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 policies", len(rows))
+	}
+	for _, r := range rows {
+		if r.Makespan <= 0 || r.VMs != CampaignVMs(ScaleSmall) {
+			t.Errorf("bad row %+v", r)
+		}
+	}
+	tables := CampaignTables(ScaleSmall, rows)
+	if len(tables) != 4 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	for _, tb := range tables {
+		if s := tb.String(); len(s) == 0 {
+			t.Error("empty table rendering")
+		}
+	}
+}

@@ -89,6 +89,88 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+// JobStat is the per-migration record of a campaign: when the job was
+// submitted, when the policy admitted it, and what it cost.
+type JobStat struct {
+	Name     string
+	Queued   float64 // campaign start (all jobs are submitted together)
+	Started  float64 // admission: window open and slot acquired
+	Finished float64
+	Downtime float64 // stop-and-copy duration of this migration
+}
+
+// Wait returns how long the policy held the job back before it ran.
+func (j JobStat) Wait() float64 { return j.Started - j.Queued }
+
+// Duration returns the job's own migration time.
+func (j JobStat) Duration() float64 { return j.Finished - j.Started }
+
+// TagBytes attributes campaign traffic to one flow tag (the tag name is
+// kept as a string so this package stays dependency-free).
+type TagBytes struct {
+	Tag   string
+	Bytes float64
+}
+
+// Campaign aggregates one orchestrated batch of live migrations: the
+// quantities concurrent-migration studies report (makespan, cumulative
+// downtime, total bytes moved, peak concurrency) plus per-job records and a
+// per-tag traffic breakdown for interference analysis.
+type Campaign struct {
+	Policy string
+	Jobs   int
+	Start  float64
+	End    float64
+
+	TotalDowntime    float64
+	PeakConcurrent   int     // most jobs running at once
+	PeakFlows        int     // most network/disk flows active at a job boundary
+	TransferredBytes float64 // all bytes moved while the campaign ran
+	Traffic          []TagBytes
+	JobStats         []JobStat
+}
+
+// Makespan returns the wall-clock span of the campaign: first submission to
+// last completion.
+func (c *Campaign) Makespan() float64 { return c.End - c.Start }
+
+// TotalMigrationTime returns the sum of per-job migration durations.
+func (c *Campaign) TotalMigrationTime() float64 {
+	var s float64
+	for _, j := range c.JobStats {
+		s += j.Duration()
+	}
+	return s
+}
+
+// AvgMigrationTime returns the mean per-job migration duration.
+func (c *Campaign) AvgMigrationTime() float64 {
+	return Ratio(c.TotalMigrationTime(), float64(len(c.JobStats)))
+}
+
+// TagBytesFor returns the campaign traffic attributed to the named tag.
+func (c *Campaign) TagBytesFor(tag string) float64 {
+	for _, t := range c.Traffic {
+		if t.Tag == tag {
+			return t.Bytes
+		}
+	}
+	return 0
+}
+
+// Summary renders the campaign's aggregate line and per-job rows.
+func (c *Campaign) Summary() *Table {
+	t := NewTable(
+		fmt.Sprintf("Campaign: %d migrations under %s — makespan %.2f s, avg migration %.2f s, total downtime %.0f ms, moved %.1f MB, peak %d concurrent (%d flows)",
+			c.Jobs, c.Policy, c.Makespan(), c.AvgMigrationTime(),
+			c.TotalDowntime*1000, MB(c.TransferredBytes), c.PeakConcurrent, c.PeakFlows),
+		"job", "wait_s", "migration_s", "downtime_ms")
+	for _, j := range c.JobStats {
+		t.AddRow(j.Name, j.Wait(), j.Duration(), j.Downtime*1000)
+	}
+	return t
+}
+
 // MB renders bytes as megabytes.
 func MB(bytes float64) float64 { return bytes / (1 << 20) }
 

@@ -55,3 +55,43 @@ func TestUnitHelpers(t *testing.T) {
 		t.Fatal("Ratio wrong")
 	}
 }
+
+func TestCampaignAggregates(t *testing.T) {
+	c := &Campaign{
+		Policy: "batched-2",
+		Jobs:   2,
+		Start:  10,
+		End:    30,
+		JobStats: []JobStat{
+			{Name: "vm0", Queued: 10, Started: 10, Finished: 22, Downtime: 0.03},
+			{Name: "vm1", Queued: 10, Started: 14, Finished: 30, Downtime: 0.05},
+		},
+		TotalDowntime:    0.08,
+		TransferredBytes: 3 << 20,
+		Traffic:          []TagBytes{{Tag: "memory", Bytes: 1 << 20}, {Tag: "push", Bytes: 2 << 20}},
+	}
+	if c.Makespan() != 20 {
+		t.Errorf("makespan = %v", c.Makespan())
+	}
+	if c.TotalMigrationTime() != 28 {
+		t.Errorf("total migration time = %v", c.TotalMigrationTime())
+	}
+	if c.AvgMigrationTime() != 14 {
+		t.Errorf("avg migration time = %v", c.AvgMigrationTime())
+	}
+	if c.JobStats[1].Wait() != 4 {
+		t.Errorf("wait = %v", c.JobStats[1].Wait())
+	}
+	if c.TagBytesFor("push") != 2<<20 {
+		t.Errorf("push bytes = %v", c.TagBytesFor("push"))
+	}
+	if c.TagBytesFor("absent") != 0 {
+		t.Errorf("absent tag bytes = %v", c.TagBytesFor("absent"))
+	}
+	s := c.Summary().String()
+	for _, want := range []string{"batched-2", "vm0", "vm1", "makespan 20.00 s", "total downtime 80 ms"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
