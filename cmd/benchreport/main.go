@@ -1,0 +1,116 @@
+// Command benchreport runs the repository's performance suite and emits a
+// machine-readable BENCH.json: micro-benchmarks of the two hot layers (the
+// internal/flow incremental allocator and the internal/sim event kernel)
+// plus wall-clock measurements of the heavyweight experiment drivers. CI
+// uploads the file as an artifact and EXPERIMENTS.md records the paper-scale
+// trajectory, so future PRs can detect perf regressions by diffing reports.
+//
+// Usage:
+//
+//	benchreport [-scale small|paper] [-skip-experiments] [-o BENCH.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/hybridmig/hybridmig/internal/benchscen"
+	"github.com/hybridmig/hybridmig/internal/experiments"
+)
+
+// Micro is one micro-benchmark result.
+type Micro struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Experiment is one experiment driver wall-clock measurement.
+type Experiment struct {
+	Name        string  `json:"name"`
+	Scale       string  `json:"scale"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// Report is the BENCH.json shape.
+type Report struct {
+	Schema      int          `json:"schema"`
+	Go          string       `json:"go"`
+	Micro       []Micro      `json:"micro"`
+	Experiments []Experiment `json:"experiments,omitempty"`
+}
+
+func main() {
+	scaleName := flag.String("scale", "small", "experiment scale: small or paper")
+	skipExp := flag.Bool("skip-experiments", false, "only run micro-benchmarks")
+	out := flag.String("o", "BENCH.json", "output path")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "small":
+		scale = experiments.ScaleSmall
+	case "paper":
+		scale = experiments.ScalePaper
+	default:
+		fmt.Fprintf(os.Stderr, "benchreport: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	rep := Report{Schema: 1, Go: runtime.Version()}
+	micro := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		m := Micro{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		rep.Micro = append(rep.Micro, m)
+		fmt.Printf("%-36s %12.1f ns/op %8d allocs/op\n", m.Name, m.NsPerOp, m.AllocsPerOp)
+	}
+
+	// The scenario bodies are shared with the package benchmarks via
+	// internal/benchscen, so this report measures exactly what
+	// `go test -bench` measures.
+	for _, n := range []int{10, 100, 1000} {
+		n := n
+		micro(fmt.Sprintf("flow/churn-disjoint-%d", n), func(b *testing.B) { benchscen.FlowChurn(b, n, false) })
+	}
+	for _, n := range []int{10, 100, 1000} {
+		n := n
+		micro(fmt.Sprintf("flow/churn-shared-%d", n), func(b *testing.B) { benchscen.FlowChurn(b, n, true) })
+	}
+	micro("sim/after-fire", benchscen.AfterFire)
+	micro("sim/timer-churn", benchscen.TimerChurn)
+
+	if !*skipExp {
+		experiment := func(name string, run func()) {
+			start := time.Now()
+			run()
+			e := Experiment{Name: name, Scale: scale.String(), WallSeconds: time.Since(start).Seconds()}
+			rep.Experiments = append(rep.Experiments, e)
+			fmt.Printf("%-36s %12.1f s wall\n", name+"@"+e.Scale, e.WallSeconds)
+		}
+		experiment("fig4-concurrent-migrations", func() { experiments.RunFig4(scale) })
+		experiment("campaign-all-policies", func() { experiments.RunCampaign(scale) })
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"github.com/hybridmig/hybridmig/internal/cluster"
+)
+
+// Profiling hooks, not tests: each runs one paper-scale hot workload when
+// HYBRIDMIG_PROFILE=1 so `go test -run TestProfile... -cpuprofile` has a
+// single subject to measure. Kept checked in because every perf PR needs
+// them again.
+
+func TestProfileCampaignPaper(t *testing.T) {
+	if os.Getenv("HYBRIDMIG_PROFILE") == "" {
+		t.Skip("set HYBRIDMIG_PROFILE=1 to run the profiling workload")
+	}
+	RunCampaignApproach(ScalePaper, cluster.OurApproach)
+}
+
+func TestProfileFig4PerApproach(t *testing.T) {
+	if os.Getenv("HYBRIDMIG_PROFILE") == "" {
+		t.Skip("set HYBRIDMIG_PROFILE=1 to run the profiling workload")
+	}
+	for _, a := range cluster.Approaches() {
+		start := time.Now()
+		runFig4One(ScalePaper, a, 30)
+		t.Logf("%s n=30: %.1fs", a, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,58 @@
+package flow_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/hybridmig/hybridmig/internal/benchscen"
+	"github.com/hybridmig/hybridmig/internal/flow"
+	"github.com/hybridmig/hybridmig/internal/sim"
+)
+
+// The churn scenario bodies live in internal/benchscen so cmd/benchreport
+// measures exactly what these benchmarks measure.
+
+func BenchmarkRecomputeDisjoint(b *testing.B) {
+	for _, flows := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("flows=%d", flows), func(b *testing.B) {
+			benchscen.FlowChurn(b, flows, false)
+		})
+	}
+}
+
+func BenchmarkRecomputeShared(b *testing.B) {
+	for _, flows := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("flows=%d", flows), func(b *testing.B) {
+			benchscen.FlowChurn(b, flows, true)
+		})
+	}
+}
+
+// BenchmarkTransferComplete runs full flow lifecycles (start, completion
+// sweep, callback) on a private link pair with a standing disjoint
+// population, covering the settle/heap/reschedule path end to end.
+func BenchmarkTransferComplete(b *testing.B) {
+	e := sim.New()
+	n := flow.NewNet(e)
+	for i := 0; i < 100; i++ {
+		l := flow.NewLink(fmt.Sprintf("bg%d", i), 1e9)
+		n.Start(&flow.Flow{Links: []*flow.Link{l}, Size: 1e15})
+	}
+	out := flow.NewLink("out", 1e8)
+	in := flow.NewLink("in", 1e8)
+	path := []*flow.Link{out, in}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := false
+		n.Start(&flow.Flow{Links: path, Size: 1e6, OnDone: func() { done = true }})
+		if err := e.RunUntil(e.Now() + 1); err != nil {
+			b.Fatal(err)
+		}
+		if !done {
+			b.Fatal("flow did not complete")
+		}
+	}
+	b.StopTimer()
+	e.Stop()
+}

@@ -14,11 +14,26 @@
 // This is the standard fluid approximation used by flow-level datacenter
 // simulators: it captures who saturates which resource and when, without
 // simulating individual packets.
+//
+// Allocation is incremental and component-scoped: max-min fairness is
+// separable across connected components of the link-sharing graph, so a flow
+// change only re-runs progressive filling over the flows and links reachable
+// from the changed flow. Links that provably cannot saturate (see
+// Link.transparent) do not couple their flows, so a non-blocking switch
+// fabric never merges otherwise-disjoint migrations into one component.
+// Byte accounting is settled lazily per flow (a flow's remaining count is
+// integrated only when its rate changes, it completes, or it is queried),
+// and completions are tracked in an indexed min-heap so the next completion
+// needs no scan. Determinism is preserved: links are filled in
+// first-occurrence (breadth-first discovery) order, completion ties break
+// on activation order, and callbacks fire in activation-table order,
+// exactly as the former global recompute did.
 package flow
 
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"github.com/hybridmig/hybridmig/internal/sim"
 )
@@ -42,6 +57,10 @@ const (
 	numTags
 )
 
+// NumTags is the number of defined tags; Tag(0) through Tag(NumTags-1) are
+// all valid, so reporters can iterate by index without allocating.
+const NumTags = int(numTags)
+
 var tagNames = [numTags]string{
 	"other", "memory", "push", "pull", "blockmig", "mirror", "repo", "pfs", "app", "control",
 }
@@ -53,14 +72,18 @@ func (t Tag) String() string {
 	return fmt.Sprintf("tag(%d)", uint8(t))
 }
 
-// Tags returns all defined tags in order, for iteration by reporters.
-func Tags() []Tag {
-	out := make([]Tag, numTags)
-	for i := range out {
-		out[i] = Tag(i)
+// allTags is the shared backing array for Tags.
+var allTags = func() [numTags]Tag {
+	var a [numTags]Tag
+	for i := range a {
+		a[i] = Tag(i)
 	}
-	return out
-}
+	return a
+}()
+
+// Tags returns all defined tags in order, for iteration by reporters. The
+// returned slice is shared and immutable: callers must not modify it.
+func Tags() []Tag { return allTags[:] }
 
 // Link is a capacity-constrained resource (a NIC direction, a switch fabric,
 // a disk). Bytes flowing through it are accumulated for utilization reports.
@@ -69,11 +92,35 @@ type Link struct {
 	Capacity float64 // bytes per second
 
 	flows []*Flow // active flows crossing this link
-	bytes float64 // total bytes carried
+	bytes float64 // total bytes carried (settled lazily; see Bytes)
+
+	// Saturability bound: ubSum is the sum, over crossing flows, of each
+	// flow's provable rate ceiling from its other constraints (cap or other
+	// links); ubInf counts flows with no such ceiling. While ubSum stays
+	// below capacity the link can never be a bottleneck ("transparent") and
+	// does not glue its flows into one recompute component.
+	ubSum float64
+	ubInf int
 
 	// scratch for rate computation
 	frozenRate float64
 	unfrozen   int
+	mark       uint64 // epoch stamp for component collection
+}
+
+// ubMarginFactor keeps a strict margin below capacity in the transparency
+// test, so float drift in the incrementally maintained ubSum can never
+// declare a genuinely saturable link transparent.
+const ubMarginFactor = 1 - 1e-9
+
+// transparent reports whether the link provably cannot be a bottleneck:
+// even if every crossing flow ran at its ceiling, the link would not
+// saturate. Progressive filling can then never pick it as the arg-min, so
+// it neither constrains rates nor couples otherwise-disjoint flows. This is
+// what makes a non-blocking switch fabric free: flows crossing it interact
+// only through their NICs and disks.
+func (l *Link) transparent() bool {
+	return l.ubInf == 0 && l.ubSum <= l.Capacity*ubMarginFactor
 }
 
 // NewLink returns a link with the given name and capacity in bytes/second.
@@ -85,12 +132,28 @@ func NewLink(name string, capacity float64) *Link {
 }
 
 // Bytes returns the total number of bytes that have crossed the link.
-func (l *Link) Bytes() float64 { return l.bytes }
+func (l *Link) Bytes() float64 {
+	if len(l.flows) > 0 {
+		n := l.flows[0].net
+		for _, f := range l.flows {
+			n.settle(f, n.lastEvent)
+		}
+	}
+	return l.bytes
+}
 
 // ActiveFlows returns the number of flows currently crossing the link.
 func (l *Link) ActiveFlows() int { return len(l.flows) }
 
-func (l *Link) addFlow(f *Flow) { l.flows = append(l.flows, f) }
+func (l *Link) addFlow(f *Flow) {
+	l.flows = append(l.flows, f)
+	if u := f.ubFor(l); math.IsInf(u, 1) {
+		l.ubInf++
+	} else {
+		l.ubSum += u
+	}
+}
+
 func (l *Link) removeFlow(f *Flow) {
 	for i, g := range l.flows {
 		if g == f {
@@ -98,6 +161,14 @@ func (l *Link) removeFlow(f *Flow) {
 			l.flows[i] = l.flows[last]
 			l.flows[last] = nil
 			l.flows = l.flows[:last]
+			if u := f.ubFor(l); math.IsInf(u, 1) {
+				l.ubInf--
+			} else {
+				l.ubSum -= u
+			}
+			if last == 0 {
+				l.ubSum = 0 // exact reset: cancels accumulated float drift
+			}
 			return
 		}
 	}
@@ -118,11 +189,45 @@ type Flow struct {
 	doneCond  sim.Cond
 	net       *Net
 	index     int // position in net.flows
+
+	// incremental-allocation state
+	lastSettle sim.Time // when remaining/bytes were last integrated
+	compT      sim.Time // projected completion time; +Inf while stalled
+	heapIdx    int      // position in net.compHeap, -1 while inactive
+	seq        uint64   // activation order, tie-break in the completion heap
+	mark       uint64   // epoch stamp for component collection
+	prevRate   float64  // rate before the current component recompute
+
+	// Two smallest link capacities on the path (for the saturability bound):
+	// the flow's rate ceiling as seen from link l is the smallest capacity
+	// among its OTHER links — minCap, or minCap2 when l is the unique
+	// smallest — further clamped by MaxRate.
+	minCap, minCap2 float64
+	minCapLink      *Link
 }
 
-// Remaining returns the bytes left to transfer (advanced lazily; accurate
+// ubFor returns the flow's provable rate ceiling as seen from link l: no
+// allocation can ever run the flow faster than its cap or its narrowest
+// other link.
+func (f *Flow) ubFor(l *Link) float64 {
+	c := f.minCap
+	if l == f.minCapLink {
+		c = f.minCap2
+	}
+	if f.MaxRate > 0 && f.MaxRate < c {
+		c = f.MaxRate
+	}
+	return c
+}
+
+// Remaining returns the bytes left to transfer (settled lazily; accurate
 // after any net activity at the current instant).
-func (f *Flow) Remaining() float64 { return f.remaining }
+func (f *Flow) Remaining() float64 {
+	if f.active {
+		f.net.settle(f, f.net.lastEvent)
+	}
+	return f.remaining
+}
 
 // Rate returns the current allocated rate in bytes/s.
 func (f *Flow) Rate() float64 { return f.rate }
@@ -135,15 +240,30 @@ type Net struct {
 	eng   *sim.Engine
 	flows []*Flow
 
-	lastAdvance sim.Time
-	gen         uint64 // completion event generation; stale events no-op
-	byTag       [numTags]float64
-	completed   uint64 // count of completed flows
+	byTag     [numTags]float64
+	completed uint64 // count of completed flows
+	startSeq  uint64
+	lastEvent sim.Time // time of the last flow start/cancel/completion
+
+	// compHeap is an indexed min-heap of active flows ordered by projected
+	// completion (compT, seq); its top is the next completion sweep.
+	compHeap   []*Flow
+	sweepTimer sim.Timer
+	sweepFn    func() // cached closure so rescheduling never allocates
+
+	// reusable scratch for component collection and the sweep batch
+	epoch     uint64
+	compFlows []*Flow
+	compLinks []*Link
+	ordered   []*Link
+	done      []*Flow
 }
 
 // NewNet returns a flow network bound to the engine.
 func NewNet(eng *sim.Engine) *Net {
-	return &Net{eng: eng}
+	n := &Net{eng: eng}
+	n.sweepFn = n.completionSweep
+	return n
 }
 
 // Engine returns the simulation engine.
@@ -151,10 +271,16 @@ func (n *Net) Engine() *sim.Engine { return n.eng }
 
 // BytesByTag returns the total bytes transferred for the tag across all
 // links (each flow's bytes are counted once, regardless of path length).
-func (n *Net) BytesByTag(t Tag) float64 { return n.byTag[t] }
+// Counters are accurate as of the last net activity at the current instant.
+func (n *Net) BytesByTag(t Tag) float64 {
+	n.settleAll()
+	return n.byTag[t]
+}
 
-// TotalBytes returns bytes transferred across all tags.
+// TotalBytes returns bytes transferred across all tags, accurate as of the
+// last net activity at the current instant.
 func (n *Net) TotalBytes() float64 {
+	n.settleAll()
 	var s float64
 	for _, v := range n.byTag {
 		s += v
@@ -188,15 +314,33 @@ func (n *Net) Start(f *Flow) {
 		n.finish(f)
 		return
 	}
-	n.advance()
 	f.active = true
+	f.lastSettle = n.eng.Now()
+	n.lastEvent = f.lastSettle
+	f.compT = math.Inf(1)
+	f.seq = n.startSeq
+	n.startSeq++
 	f.index = len(n.flows)
 	n.flows = append(n.flows, f)
+	f.minCap, f.minCap2, f.minCapLink = math.Inf(1), math.Inf(1), nil
+	for _, l := range f.Links {
+		if l.Capacity < f.minCap {
+			f.minCap2 = f.minCap
+			f.minCap, f.minCapLink = l.Capacity, l
+		} else if l.Capacity < f.minCap2 {
+			f.minCap2 = l.Capacity
+		}
+	}
 	for _, l := range f.Links {
 		l.addFlow(f)
 	}
-	n.recompute()
-	n.schedule()
+	n.heapPush(f)
+	n.resetComponent()
+	n.seedFlow(f)
+	n.seedLinks(f.Links)
+	n.expandComponent()
+	n.recomputeComponent()
+	n.reschedule()
 }
 
 // Cancel removes an active flow before completion and returns the bytes that
@@ -206,12 +350,19 @@ func (n *Net) Cancel(f *Flow) float64 {
 	if !f.active {
 		return 0
 	}
-	n.advance()
+	n.lastEvent = n.eng.Now()
+	n.settle(f, n.lastEvent)
 	rem := f.remaining
+	// Seed before deactivating: a link the departing flow kept opaque may
+	// turn transparent once the flow leaves, but the flows it was
+	// constraining still need their rates recomputed (and released).
+	n.resetComponent()
+	n.seedLinks(f.Links)
 	n.deactivate(f)
 	f.doneCond.Broadcast(n.eng)
-	n.recompute()
-	n.schedule()
+	n.expandComponent()
+	n.recomputeComponent()
+	n.reschedule()
 	return rem
 }
 
@@ -232,32 +383,46 @@ const epsBytes = 1e-3
 // flows that close to done are simply finished.
 const minStep = 1e-9
 
-// advance applies elapsed time to every active flow's remaining count and
-// accumulates per-link and per-tag byte counters.
-func (n *Net) advance() {
-	now := n.eng.Now()
-	dt := now - n.lastAdvance
-	n.lastAdvance = now
-	if dt <= 0 {
+// settle integrates elapsed time into the flow's remaining count and its
+// per-link and per-tag byte counters, at the flow's current rate.
+func (n *Net) settle(f *Flow, now sim.Time) {
+	n.settleRate(f, now, f.rate)
+}
+
+// settleRate is settle with an explicit rate: during a component recompute
+// the flow's new rate is already in place, so elapsed time since the last
+// settle is charged at the rate that was in effect before the change.
+func (n *Net) settleRate(f *Flow, now sim.Time, rate float64) {
+	dt := now - f.lastSettle
+	f.lastSettle = now
+	if dt <= 0 || rate <= 0 {
 		return
 	}
-	for _, f := range n.flows {
-		if f.rate <= 0 {
-			continue
-		}
-		d := f.rate * dt
-		if d > f.remaining {
-			d = f.remaining
-		}
-		f.remaining -= d
-		n.byTag[f.Tag] += d
-		for _, l := range f.Links {
-			l.bytes += d
-		}
+	d := rate * dt
+	if d > f.remaining {
+		d = f.remaining
+	}
+	f.remaining -= d
+	n.byTag[f.Tag] += d
+	for _, l := range f.Links {
+		l.bytes += d
 	}
 }
 
-// deactivate unlinks a flow from the network and its links.
+// settleAll brings every active flow's accounting up to the last net event,
+// in activation-table order for determinism. Queries settle to lastEvent
+// rather than the clock: rate allocations only change at net events, and the
+// pre-incremental model accumulated bytes exactly there, so this keeps query
+// results aligned with the original "accurate after any net activity at the
+// current instant" contract.
+func (n *Net) settleAll() {
+	for _, f := range n.flows {
+		n.settle(f, n.lastEvent)
+	}
+}
+
+// deactivate unlinks a flow from the network, its links, and the
+// completion heap. The caller settles the flow first.
 func (n *Net) deactivate(f *Flow) {
 	f.active = false
 	last := len(n.flows) - 1
@@ -268,6 +433,7 @@ func (n *Net) deactivate(f *Flow) {
 	for _, l := range f.Links {
 		l.removeFlow(f)
 	}
+	n.heapRemove(f)
 	f.rate = 0
 }
 
@@ -275,7 +441,7 @@ func (n *Net) deactivate(f *Flow) {
 // and fires callbacks.
 func (n *Net) finish(f *Flow) {
 	if f.remaining > 0 {
-		// Account the final sliver that advance() rounded off.
+		// Account the final sliver that settle() rounded off.
 		n.byTag[f.Tag] += f.remaining
 		for _, l := range f.Links {
 			l.bytes += f.remaining
@@ -289,53 +455,110 @@ func (n *Net) finish(f *Flow) {
 	}
 }
 
-// recompute performs progressive-filling max-min fair allocation over all
-// active flows.
-func (n *Net) recompute() {
-	if len(n.flows) == 0 {
+// Component collection: the connected component of links and active flows
+// reachable from a seed (a just-started flow, or the link paths of removed
+// flows) is gathered into the net's reusable scratch buffers. Epoch stamps
+// on links and flows replace a per-call map.
+
+// resetComponent starts a fresh collection epoch.
+func (n *Net) resetComponent() {
+	n.epoch++
+	n.compFlows = n.compFlows[:0]
+	n.compLinks = n.compLinks[:0]
+}
+
+// seedFlow adds a flow to the component under collection.
+func (n *Net) seedFlow(f *Flow) {
+	if f.active && f.mark != n.epoch {
+		f.mark = n.epoch
+		n.compFlows = append(n.compFlows, f)
+	}
+}
+
+// seedLinks adds links to the component under collection. Transparent links
+// cannot constrain anyone, so they neither join the component nor pull in
+// the flows crossing them.
+func (n *Net) seedLinks(links []*Link) {
+	for _, l := range links {
+		if l.mark != n.epoch && !l.transparent() {
+			l.mark = n.epoch
+			n.compLinks = append(n.compLinks, l)
+		}
+	}
+}
+
+// expandComponent runs the breadth-first closure over the bipartite
+// link/flow sharing graph; compLinks doubles as the work queue.
+func (n *Net) expandComponent() {
+	for i := 0; i < len(n.compLinks); i++ {
+		for _, g := range n.compLinks[i].flows {
+			if g.mark == n.epoch {
+				continue
+			}
+			g.mark = n.epoch
+			n.compFlows = append(n.compFlows, g)
+			for _, l := range g.Links {
+				if l.mark != n.epoch && !l.transparent() {
+					l.mark = n.epoch
+					n.compLinks = append(n.compLinks, l)
+				}
+			}
+		}
+	}
+}
+
+// recomputeComponent performs progressive-filling max-min fair allocation
+// over the collected component. Links are processed in first-occurrence
+// order and flows in (deterministic) component-discovery order; the freeze
+// SET per filling round is order-independent, so iteration order only
+// re-associates float accumulation, never changes the allocation. Flows
+// whose allocated rate is unchanged by the fill keep their lazy accounting
+// state untouched: no settle, no completion-heap update.
+func (n *Net) recomputeComponent() {
+	if len(n.compFlows) == 0 {
 		return
 	}
-	// Reset scratch state.
-	for _, f := range n.flows {
+	// Reset scratch state, remembering pre-fill rates.
+	anyCapped := false
+	for _, f := range n.compFlows {
+		f.prevRate = f.rate
 		f.frozen = false
 		f.rate = 0
+		anyCapped = anyCapped || f.MaxRate > 0
 	}
-	// Collect involved links deterministically: order by first occurrence.
-	ordered := make([]*Link, 0, 8)
-	seen := make(map[*Link]bool, 8)
-	for _, f := range n.flows {
-		for _, l := range f.Links {
-			if !seen[l] {
-				seen[l] = true
-				ordered = append(ordered, l)
-			}
+	// The involved links, in deterministic first-occurrence order, are the
+	// BFS discovery list; only currently-opaque ones participate in the fill
+	// (a transparent link can never bind, and on the removal path it may
+	// carry flows of other components, which must not be frozen here).
+	n.ordered = n.ordered[:0]
+	for _, l := range n.compLinks {
+		if !l.transparent() {
+			n.ordered = append(n.ordered, l)
+			l.frozenRate = 0
+			l.unfrozen = len(l.flows)
 		}
 	}
-	for _, l := range ordered {
-		l.frozenRate = 0
-		l.unfrozen = 0
-		for _, f := range l.flows {
-			if f.active {
-				l.unfrozen++
-			}
-		}
-	}
-	remaining := len(n.flows)
+	remaining := len(n.compFlows)
 	for remaining > 0 {
-		// Candidate share: the smallest equal-share across constrained links.
+		// Candidate share: the smallest equal-share across constrained
+		// links. Links with no unfrozen flows left are compacted away so
+		// later rounds scan only live bottleneck candidates.
 		share := math.Inf(1)
-		for _, l := range ordered {
+		live := n.ordered[:0]
+		for _, l := range n.ordered {
 			if l.unfrozen == 0 {
 				continue
 			}
+			live = append(live, l)
 			s := (l.Capacity - l.frozenRate) / float64(l.unfrozen)
 			if s < share {
 				share = s
 			}
 		}
+		n.ordered = live
 		if math.IsInf(share, 1) {
 			// Only cap-limited flows remain (no shared links).
-			for _, f := range n.flows {
+			for _, f := range n.compFlows {
 				if !f.frozen {
 					f.freezeAt(f.MaxRate)
 					remaining--
@@ -346,22 +569,24 @@ func (n *Net) recompute() {
 		if share < 0 {
 			share = 0
 		}
-		// Flows whose individual cap is below the share freeze at their cap
-		// first; this releases capacity for the rest.
-		capped := false
-		for _, f := range n.flows {
-			if f.frozen || f.MaxRate <= 0 || f.MaxRate > share {
+		if anyCapped {
+			// Flows whose individual cap is below the share freeze at their
+			// cap first; this releases capacity for the rest.
+			capped := false
+			for _, f := range n.compFlows {
+				if f.frozen || f.MaxRate <= 0 || f.MaxRate > share {
+					continue
+				}
+				f.freezeAt(f.MaxRate)
+				remaining--
+				capped = true
+			}
+			if capped {
 				continue
 			}
-			f.freezeAt(f.MaxRate)
-			remaining--
-			capped = true
-		}
-		if capped {
-			continue
 		}
 		// Freeze flows on the bottleneck link(s) at the share rate.
-		for _, l := range ordered {
+		for _, l := range n.ordered {
 			if l.unfrozen == 0 {
 				continue
 			}
@@ -371,11 +596,49 @@ func (n *Net) recompute() {
 			}
 			// All unfrozen flows on this link freeze at share.
 			for _, f := range l.flows {
-				if f.active && !f.frozen {
+				if !f.frozen {
 					f.freezeAt(share)
 					remaining--
 				}
 			}
+		}
+	}
+	// Apply the new allocation: settle elapsed time at the old rate and
+	// reproject the completion for every flow whose rate actually changed.
+	// Heap repair strategy: one O(n) heapify beats O(k log n) individual
+	// fixes once a fill moves most of the heap (a saturated shared link
+	// reshares every crossing flow at once); otherwise each flow is fixed
+	// IMMEDIATELY after its key changes — sequential fixes are only sound
+	// while at most one key is stale at a time. The pop order is a total
+	// order on (compT, seq), so either repair yields identical sweeps.
+	changed := 0
+	for _, f := range n.compFlows {
+		if f.rate != f.prevRate {
+			changed++
+		}
+	}
+	if changed == 0 {
+		return
+	}
+	rebuild := changed*4 >= len(n.compHeap)
+	now := n.eng.Now()
+	for _, f := range n.compFlows {
+		if f.rate == f.prevRate {
+			continue
+		}
+		n.settleRate(f, now, f.prevRate)
+		if f.rate > 0 {
+			f.compT = now + f.remaining/f.rate
+		} else {
+			f.compT = math.Inf(1)
+		}
+		if !rebuild {
+			n.heapFix(f)
+		}
+	}
+	if rebuild {
+		for i := len(n.compHeap)/2 - 1; i >= 0; i-- {
+			n.heapDown(i)
 		}
 	}
 }
@@ -390,58 +653,147 @@ func (f *Flow) freezeAt(rate float64) {
 	}
 }
 
-// schedule arranges the next completion event.
-func (n *Net) schedule() {
-	n.gen++
-	if len(n.flows) == 0 {
+// reschedule (re)arms the sweep timer for the earliest projected completion.
+func (n *Net) reschedule() {
+	n.sweepTimer.Cancel()
+	if len(n.compHeap) == 0 {
 		return
 	}
-	next := math.Inf(1)
-	for _, f := range n.flows {
-		if f.rate <= 0 {
-			continue
-		}
-		t := f.remaining / f.rate
-		if t < next {
-			next = t
-		}
-	}
-	if math.IsInf(next, 1) {
+	at := n.compHeap[0].compT
+	if math.IsInf(at, 1) {
 		return // everything stalled (shouldn't happen with positive capacities)
 	}
-	if next < minStep {
-		next = minStep
+	if floor := n.eng.Now() + minStep; at < floor {
+		at = floor
 	}
-	gen := n.gen
-	n.eng.After(next, func() {
-		if gen != n.gen {
-			return
-		}
-		n.completionSweep()
-	})
+	n.sweepTimer = n.eng.At(at, n.sweepFn)
 }
 
-// completionSweep advances flows and finishes all that have drained.
+// completionSweep retires every flow that has drained (or is so close that
+// its completion delay would vanish under clock round-off), recomputes the
+// affected components, and fires completion callbacks.
 func (n *Net) completionSweep() {
-	n.advance()
-	var done []*Flow
-	for _, f := range n.flows {
-		// A flow is done when drained, or so close that its completion
-		// delay would vanish under clock round-off.
-		if f.remaining <= epsBytes || (f.rate > 0 && f.remaining <= f.rate*minStep) {
-			done = append(done, f)
+	now := n.eng.Now()
+	n.lastEvent = now
+	n.done = n.done[:0]
+	for len(n.compHeap) > 0 {
+		f := n.compHeap[0]
+		if f.compT <= now+minStep {
+			n.heapRemove(f)
+			n.done = append(n.done, f)
+			continue
 		}
+		// The projection says "not yet": settle and re-check against the
+		// byte tolerance, which absorbs float round-off near the end.
+		n.settle(f, now)
+		if f.remaining <= epsBytes {
+			n.heapRemove(f)
+			n.done = append(n.done, f)
+			continue
+		}
+		break
 	}
-	for _, f := range done {
-		n.deactivate(f)
+	if len(n.done) > 0 {
+		// Finish in activation-table order, as the former global sweep did.
+		slices.SortFunc(n.done, func(a, b *Flow) int { return a.index - b.index })
+		for _, f := range n.done {
+			n.settle(f, now)
+		}
+		// Seed before deactivating (pre-removal transparency; see Cancel).
+		n.resetComponent()
+		for _, f := range n.done {
+			n.seedLinks(f.Links)
+		}
+		for _, f := range n.done {
+			n.deactivate(f)
+		}
+		n.expandComponent()
+		// Recompute before firing callbacks so callbacks observe a consistent
+		// allocation; callbacks may start new flows, which recompute again.
+		n.recomputeComponent()
 	}
-	// Recompute before firing callbacks so callbacks observe a consistent
-	// allocation; callbacks may start new flows, which recompute again.
-	n.recompute()
-	n.schedule()
-	for _, f := range done {
+	n.reschedule()
+	for _, f := range n.done {
 		n.finish(f)
 	}
+}
+
+// Completion heap: an indexed binary min-heap of active flows keyed by
+// (compT, seq), so the next completion is O(1) to find and a rate change
+// repositions a flow in O(log n).
+
+func (n *Net) heapLess(i, j int) bool {
+	a, b := n.compHeap[i], n.compHeap[j]
+	if a.compT != b.compT {
+		return a.compT < b.compT
+	}
+	return a.seq < b.seq
+}
+
+func (n *Net) heapSwap(i, j int) {
+	h := n.compHeap
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+
+func (n *Net) heapUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !n.heapLess(i, parent) {
+			break
+		}
+		n.heapSwap(i, parent)
+		i = parent
+	}
+}
+
+func (n *Net) heapDown(i int) {
+	s := len(n.compHeap)
+	for {
+		l := 2*i + 1
+		if l >= s {
+			return
+		}
+		least := l
+		if r := l + 1; r < s && n.heapLess(r, l) {
+			least = r
+		}
+		if !n.heapLess(least, i) {
+			return
+		}
+		n.heapSwap(i, least)
+		i = least
+	}
+}
+
+func (n *Net) heapPush(f *Flow) {
+	f.heapIdx = len(n.compHeap)
+	n.compHeap = append(n.compHeap, f)
+	n.heapUp(f.heapIdx)
+}
+
+func (n *Net) heapFix(f *Flow) {
+	n.heapDown(f.heapIdx)
+	n.heapUp(f.heapIdx)
+}
+
+func (n *Net) heapRemove(f *Flow) {
+	i := f.heapIdx
+	if i < 0 {
+		return
+	}
+	last := len(n.compHeap) - 1
+	if i != last {
+		n.heapSwap(i, last)
+	}
+	n.compHeap[last] = nil
+	n.compHeap = n.compHeap[:last]
+	if i != last {
+		n.heapDown(i)
+		n.heapUp(i)
+	}
+	f.heapIdx = -1
 }
 
 // Transfer runs a blocking transfer of size bytes across links and returns

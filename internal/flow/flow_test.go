@@ -421,3 +421,198 @@ func TestTagString(t *testing.T) {
 		t.Fatal("Tags() length mismatch")
 	}
 }
+
+// TestTagsNoAlloc pins the satellite contract: Tags() returns the shared
+// package-level slice, so metrics aggregation loops can call it freely.
+func TestTagsNoAlloc(t *testing.T) {
+	if allocs := testing.AllocsPerRun(100, func() {
+		if len(Tags()) != NumTags {
+			t.Fatal("Tags() length mismatch")
+		}
+	}); allocs != 0 {
+		t.Fatalf("Tags() allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestTransparentFabricDecouples: a fabric that cannot saturate must not
+// constrain anyone — each flow is bottlenecked by its own NIC pair exactly
+// as if the fabric were absent.
+func TestTransparentFabricDecouples(t *testing.T) {
+	e := sim.New()
+	n := NewNet(e)
+	fab := NewLink("fab", 8000)
+	var flows []*Flow
+	for i := 0; i < 4; i++ {
+		out := NewLink("out", 100)
+		in := NewLink("in", 100)
+		f := &Flow{Links: []*Link{out, fab, in}, Size: 1e9}
+		flows = append(flows, f)
+		n.Start(f)
+	}
+	for i, f := range flows {
+		if !near(f.Rate(), 100) {
+			t.Fatalf("flow %d rate = %v, want 100 (fabric must be transparent)", i, f.Rate())
+		}
+	}
+	e.Stop()
+}
+
+// TestTransparentFlipRelease: when the flow departing a shared link turns
+// the link transparent, the flows it was constraining must still be
+// recomputed and released to their own bottlenecks.
+func TestTransparentFlipRelease(t *testing.T) {
+	e := sim.New()
+	n := NewNet(e)
+	shared := NewLink("shared", 100)
+	nicA := NewLink("nicA", 60)
+	nicB := NewLink("nicB", 60)
+	fa := &Flow{Links: []*Link{nicA, shared}, Size: 1e9}
+	fb := &Flow{Links: []*Link{nicB, shared}, Size: 1e9}
+	n.Start(fa)
+	n.Start(fb)
+	// ubSum on shared = 60+60 = 120 > 100: opaque, classic 50/50 split.
+	if !near(fa.Rate(), 50) || !near(fb.Rate(), 50) {
+		t.Fatalf("rates = %v, %v, want 50, 50", fa.Rate(), fb.Rate())
+	}
+	n.Cancel(fa)
+	// shared now has ubSum = 60 <= 100: transparent — and fb must have been
+	// released to its NIC rate, not left frozen at the stale 50.
+	if !near(fb.Rate(), 60) {
+		t.Fatalf("rate after departure = %v, want 60", fb.Rate())
+	}
+	e.Stop()
+}
+
+// TestTransparentFlipConstrain is the reverse: a link that turns opaque as
+// flows join must start constraining the flows already crossing it.
+func TestTransparentFlipConstrain(t *testing.T) {
+	e := sim.New()
+	n := NewNet(e)
+	shared := NewLink("shared", 100)
+	var flows []*Flow
+	for i := 0; i < 3; i++ {
+		nic := NewLink("nic", 60)
+		f := &Flow{Links: []*Link{nic, shared}, Size: 1e9}
+		flows = append(flows, f)
+		n.Start(f)
+	}
+	// 3 x 60 = 180 > 100: the shared link binds at an equal share.
+	for i, f := range flows {
+		if !near(f.Rate(), 100.0/3) {
+			t.Fatalf("flow %d rate = %v, want %v", i, f.Rate(), 100.0/3)
+		}
+	}
+	e.Stop()
+}
+
+// TestCappedSingletonComponent: a capped flow whose links are all
+// transparent forms a component of one and runs at its cap.
+func TestCappedSingletonComponent(t *testing.T) {
+	e := sim.New()
+	n := NewNet(e)
+	fab := NewLink("fab", 8000)
+	f := &Flow{Links: []*Link{fab}, Size: 1e9, MaxRate: 10}
+	g := &Flow{Links: []*Link{fab}, Size: 1e9, MaxRate: 25}
+	n.Start(f)
+	n.Start(g)
+	if !near(f.Rate(), 10) || !near(g.Rate(), 25) {
+		t.Fatalf("rates = %v, %v, want 10, 25", f.Rate(), g.Rate())
+	}
+	e.Stop()
+}
+
+// TestRemainingSettlesToLastEvent pins the lazy-settlement query contract:
+// Remaining is accurate as of the last net activity at the current instant.
+func TestRemainingSettlesToLastEvent(t *testing.T) {
+	e := sim.New()
+	n := NewNet(e)
+	l := NewLink("l", 100)
+	f := &Flow{Links: []*Link{l}, Size: 1000}
+	n.Start(f)
+	other := NewLink("other", 100)
+	e.At(2, func() {
+		n.Start(&Flow{Links: []*Link{other}, Size: 1e9}) // net event at t=2
+		if !near(f.Remaining(), 800) {
+			t.Fatalf("Remaining = %v, want 800", f.Remaining())
+		}
+		if !near(l.Bytes(), 200) {
+			t.Fatalf("link bytes = %v, want 200", l.Bytes())
+		}
+		if !near(n.BytesByTag(TagOther), 200) {
+			t.Fatalf("tag bytes = %v, want 200", n.BytesByTag(TagOther))
+		}
+	})
+	if err := e.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	e.Stop()
+	e.Shutdown()
+}
+
+// checkCompletionHeap verifies the completion-heap invariant and index
+// bookkeeping after an operation.
+func checkCompletionHeap(t *testing.T, n *Net) {
+	t.Helper()
+	h := n.compHeap
+	for i, f := range h {
+		if f.heapIdx != i {
+			t.Fatalf("heapIdx mismatch at %d: %d", i, f.heapIdx)
+		}
+		if i > 0 {
+			p := h[(i-1)/2]
+			if f.compT < p.compT || (f.compT == p.compT && f.seq < p.seq) {
+				t.Fatalf("heap invariant broken at %d: child (%v,%d) < parent (%v,%d)",
+					i, f.compT, f.seq, p.compT, p.seq)
+			}
+		}
+	}
+}
+
+// TestCompletionHeapInvariantProperty drives random churn — clumps of flows
+// sharing links (so one recompute changes many completion keys at once)
+// against a disjoint background population (so the partial-repair path runs)
+// — and asserts the heap invariant after every operation. This pins the
+// repair strategy in recomputeComponent: repositioning flows one at a time
+// is only sound if each key is fixed before the next one changes.
+func TestCompletionHeapInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := sim.New()
+		n := NewNet(e)
+		// Disjoint background flows padding the heap.
+		for i := 0; i < 12; i++ {
+			l := NewLink("bg", 50+rng.Float64()*100)
+			n.Start(&Flow{Links: []*Link{l}, Size: 1e7 + rng.Float64()*1e9})
+		}
+		shared := []*Link{NewLink("s1", 120), NewLink("s2", 80)}
+		var live []*Flow
+		for op := 0; op < 60; op++ {
+			if err := e.RunUntil(e.Now() + rng.Float64()*0.5); err != nil {
+				t.Fatal(err)
+			}
+			if rng.Intn(3) > 0 || len(live) == 0 {
+				fl := &Flow{
+					Links: []*Link{shared[rng.Intn(2)]},
+					Size:  1e5 + rng.Float64()*1e8,
+				}
+				if rng.Intn(4) == 0 {
+					fl.Links = append(fl.Links, shared[rng.Intn(2)])
+				}
+				n.Start(fl)
+				live = append(live, fl)
+			} else {
+				i := rng.Intn(len(live))
+				n.Cancel(live[i])
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			checkCompletionHeap(t, n)
+		}
+		e.Stop()
+		e.Shutdown()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -222,4 +222,3 @@ func (o *Orchestrator) Run(p *sim.Proc, jobs []Job, pol Policy) *metrics.Campaig
 	}
 	return c
 }
-

@@ -11,10 +11,14 @@
 // Time is measured in seconds as float64. Ties between events scheduled for
 // the same instant are broken by scheduling order (a monotonically increasing
 // sequence number), which keeps runs bit-reproducible.
+//
+// The event path is allocation-free in steady state: event records are pooled
+// on a free list, canceled timers are removed from the heap eagerly (via the
+// stored heap index) instead of leaving tombstones, and process wake-ups are
+// scheduled as direct dispatch events rather than closures.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -33,58 +37,37 @@ var errKilled = errors.New("sim: process killed")
 // ErrStopped is returned by Run when the engine was stopped explicitly.
 var ErrStopped = errors.New("sim: engine stopped")
 
-// event is a scheduled callback.
+// event is a scheduled callback. Records are recycled through Engine.free;
+// gen distinguishes a live record from a recycled one so stale Timer handles
+// can never cancel an unrelated event.
 type event struct {
-	t        Time
-	seq      uint64
-	fn       func()
-	canceled bool
-	index    int // heap index, -1 once popped
-}
-
-// eventHeap is a min-heap ordered by (time, sequence).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	t     Time
+	seq   uint64
+	fn    func() // callback; nil when p drives a direct dispatch
+	p     *Proc  // dispatch fast path: wake this process without a closure
+	gen   uint32 // bumped on recycle
+	index int    // heap position, -1 while off the heap
 }
 
 // Timer is a handle to a scheduled event; it can be canceled before it fires.
+// The zero Timer is valid and cancels nothing.
 type Timer struct {
-	ev *event
+	eng *Engine
+	ev  *event
+	gen uint32
 }
 
-// Cancel prevents the timer's callback from running. It is safe to call
-// after the timer has fired (it then has no effect). Reports whether the
-// callback was still pending.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.canceled || t.ev.fn == nil {
+// Cancel prevents the timer's callback from running and removes the event
+// from the queue immediately (no tombstone is left behind). It is safe to
+// call after the timer has fired (it then has no effect). Reports whether
+// the callback was still pending.
+func (t Timer) Cancel() bool {
+	ev := t.ev
+	if ev == nil || ev.gen != t.gen || ev.index < 0 {
 		return false
 	}
-	t.ev.canceled = true
+	t.eng.removeEvent(ev.index)
+	t.eng.recycle(ev)
 	return true
 }
 
@@ -92,7 +75,8 @@ func (t *Timer) Cancel() bool {
 // call New.
 type Engine struct {
 	now     Time
-	queue   eventHeap
+	queue   []*event // binary min-heap ordered by (t, seq)
+	free    []*event // recycled event records
 	seq     uint64
 	procs   map[*Proc]struct{}
 	order   []*Proc // live processes in spawn order, for deterministic kill
@@ -109,27 +93,148 @@ func New() *Engine {
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() Time { return e.now }
 
-// At schedules fn to run at absolute time t. Scheduling in the past is an
-// error and panics: it would break causality.
-func (e *Engine) At(t Time, fn func()) *Timer {
+// newEvent takes a record off the free list (or allocates one) and stamps it
+// with the next sequence number.
+func (e *Engine) newEvent(t Time, fn func(), p *Proc) *event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v", t))
 	}
-	ev := &event{t: t, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.t, ev.seq, ev.fn, ev.p = t, e.seq, fn, p
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return &Timer{ev: ev}
+	return ev
+}
+
+// recycle returns a popped or canceled event record to the free list. The
+// generation bump invalidates any Timer still pointing at the record.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.p = nil
+	ev.gen++
+	e.free = append(e.free, ev)
+}
+
+// heap primitives: a hand-rolled binary heap keyed by (t, seq) that keeps
+// event.index current, so Cancel can remove an interior element in O(log n).
+
+func (e *Engine) less(i, j int) bool {
+	a, b := e.queue[i], e.queue[j]
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) swap(i, j int) {
+	q := e.queue
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (e *Engine) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.swap(i, parent)
+		i = parent
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.queue)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		least := l
+		if r := l + 1; r < n && e.less(r, l) {
+			least = r
+		}
+		if !e.less(least, i) {
+			return
+		}
+		e.swap(i, least)
+		i = least
+	}
+}
+
+func (e *Engine) pushEvent(ev *event) {
+	ev.index = len(e.queue)
+	e.queue = append(e.queue, ev)
+	e.siftUp(ev.index)
+}
+
+// popEvent removes and returns the earliest event.
+func (e *Engine) popEvent() *event {
+	ev := e.queue[0]
+	e.removeEvent(0)
+	return ev
+}
+
+// removeEvent deletes the element at heap position i.
+func (e *Engine) removeEvent(i int) {
+	last := len(e.queue) - 1
+	ev := e.queue[i]
+	if i != last {
+		e.swap(i, last)
+	}
+	e.queue[last] = nil
+	e.queue = e.queue[:last]
+	if i != last {
+		e.siftDown(i)
+		e.siftUp(i)
+	}
+	ev.index = -1
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past is an
+// error and panics: it would break causality.
+func (e *Engine) At(t Time, fn func()) Timer {
+	ev := e.newEvent(t, fn, nil)
+	e.pushEvent(ev)
+	return Timer{eng: e, ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d seconds from now. Negative d is clamped to 0.
-func (e *Engine) After(d Duration, fn func()) *Timer {
+func (e *Engine) After(d Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
 	return e.At(e.now+d, fn)
+}
+
+// scheduleProc schedules a direct dispatch of p at absolute time t. This is
+// the wake-up fast path: no closure is built, so parking and waking processes
+// does not allocate.
+func (e *Engine) scheduleProc(t Time, p *Proc) {
+	e.pushEvent(e.newEvent(t, nil, p))
+}
+
+// fire runs one popped event. The record is recycled first so the callback
+// can immediately reuse it when scheduling follow-up events.
+func (e *Engine) fire(ev *event) {
+	e.now = ev.t
+	fn, p := ev.fn, ev.p
+	e.recycle(ev)
+	if p != nil {
+		e.dispatch(p)
+		return
+	}
+	fn()
 }
 
 // Run executes events until the queue drains or the engine is stopped.
@@ -146,18 +251,10 @@ func (e *Engine) RunUntil(limit Time) error {
 	e.running = true
 	defer func() { e.running = false }()
 	for len(e.queue) > 0 && !e.stopped {
-		ev := e.queue[0]
-		if ev.t > limit {
+		if e.queue[0].t > limit {
 			break
 		}
-		heap.Pop(&e.queue)
-		if ev.canceled {
-			continue
-		}
-		e.now = ev.t
-		fn := ev.fn
-		ev.fn = nil
-		fn()
+		e.fire(e.popEvent())
 	}
 	if e.stopped {
 		return ErrStopped
@@ -168,18 +265,11 @@ func (e *Engine) RunUntil(limit Time) error {
 // Step executes the single next pending event, if any, and reports whether
 // an event ran. Used by tests that need fine-grained control.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.canceled {
-			continue
-		}
-		e.now = ev.t
-		fn := ev.fn
-		ev.fn = nil
-		fn()
-		return true
+	if len(e.queue) == 0 {
+		return false
 	}
-	return false
+	e.fire(e.popEvent())
+	return true
 }
 
 // Stop terminates the run loop after the current event and kills all live
@@ -214,8 +304,8 @@ func (e *Engine) Shutdown() {
 // finished. A structurally complete simulation drains to zero.
 func (e *Engine) LiveProcs() int { return len(e.procs) }
 
-// PendingEvents returns the number of events still queued (including
-// canceled tombstones). Intended for tests.
+// PendingEvents returns the number of events still queued. Canceled timers
+// are removed eagerly, so they are never counted.
 func (e *Engine) PendingEvents() int { return len(e.queue) }
 
 // resumeMsg tells a parked process why it is being woken.
@@ -258,7 +348,7 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 	e.procs[p] = struct{}{}
 	e.order = append(e.order, p)
 	go p.top(fn)
-	e.After(0, func() { e.dispatch(p) })
+	e.scheduleProc(e.now, p)
 	return p
 }
 
@@ -327,7 +417,7 @@ func (p *Proc) Sleep(d Duration) {
 		d = 0
 	}
 	e := p.eng
-	e.At(e.now+d, func() { e.dispatch(p) })
+	e.scheduleProc(e.now+d, p)
 	p.park()
 }
 
@@ -341,14 +431,23 @@ func (p *Proc) block() { p.park() }
 
 // unblock schedules p to resume at the current virtual time.
 func (e *Engine) unblock(p *Proc) {
-	e.After(0, func() { e.dispatch(p) })
+	e.scheduleProc(e.now, p)
 }
 
 // Cond is a FIFO condition variable for processes. The zero value is ready
 // to use once bound to an engine via its first Wait.
+//
+// The waiter queue is a head-indexed ring over a slice: Signal pops the
+// front in O(1) instead of shifting the remaining waiters down.
 type Cond struct {
 	waiters []*Proc
+	head    int // first live waiter; everything before it has been woken
 }
+
+// condCompactAt bounds the dead prefix of the waiter slice: once head grows
+// past it, live waiters are slid down so memory stays proportional to the
+// number of actual waiters. Amortized O(1) per Signal.
+const condCompactAt = 64
 
 // Wait parks the calling process until Signal or Broadcast wakes it.
 // As with sync.Cond, callers re-check their predicate in a loop.
@@ -359,25 +458,38 @@ func (c *Cond) Wait(p *Proc) {
 
 // Signal wakes the longest-waiting process, if any.
 func (c *Cond) Signal(e *Engine) {
-	if len(c.waiters) == 0 {
+	if c.head >= len(c.waiters) {
 		return
 	}
-	p := c.waiters[0]
-	copy(c.waiters, c.waiters[1:])
-	c.waiters = c.waiters[:len(c.waiters)-1]
+	p := c.waiters[c.head]
+	c.waiters[c.head] = nil
+	c.head++
+	if c.head == len(c.waiters) {
+		c.waiters = c.waiters[:0]
+		c.head = 0
+	} else if c.head >= condCompactAt {
+		n := copy(c.waiters, c.waiters[c.head:])
+		for i := n; i < len(c.waiters); i++ {
+			c.waiters[i] = nil
+		}
+		c.waiters = c.waiters[:n]
+		c.head = 0
+	}
 	e.unblock(p)
 }
 
 // Broadcast wakes all waiting processes in FIFO order.
 func (c *Cond) Broadcast(e *Engine) {
-	for _, p := range c.waiters {
-		e.unblock(p)
+	for i := c.head; i < len(c.waiters); i++ {
+		e.unblock(c.waiters[i])
+		c.waiters[i] = nil
 	}
 	c.waiters = c.waiters[:0]
+	c.head = 0
 }
 
 // Waiting returns the number of processes parked on the condition.
-func (c *Cond) Waiting() int { return len(c.waiters) }
+func (c *Cond) Waiting() int { return len(c.waiters) - c.head }
 
 // WaitFor parks p until pred() holds, re-checking after every wake-up.
 // pred must be a pure function of simulation state.

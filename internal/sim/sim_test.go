@@ -368,3 +368,191 @@ func TestCondWaitFor(t *testing.T) {
 		t.Fatalf("doneAt = %v, want 3", doneAt)
 	}
 }
+
+// TestCancelRemovesEventEagerly pins the eager-removal contract: canceling a
+// timer deletes its event from the queue immediately rather than leaving a
+// tombstone until the heap pops it.
+func TestCancelRemovesEventEagerly(t *testing.T) {
+	e := New()
+	var timers []Timer
+	for i := 0; i < 10; i++ {
+		d := Duration(i + 1)
+		timers = append(timers, e.After(d, func() {}))
+	}
+	if e.PendingEvents() != 10 {
+		t.Fatalf("PendingEvents = %d, want 10", e.PendingEvents())
+	}
+	// Cancel interior, first, and last elements; the count must drop at once.
+	for i, idx := range []int{4, 0, 9, 7} {
+		if !timers[idx].Cancel() {
+			t.Fatalf("Cancel %d reported not pending", idx)
+		}
+		if got := e.PendingEvents(); got != 10-(i+1) {
+			t.Fatalf("after cancel %d: PendingEvents = %d, want %d", idx, got, 10-(i+1))
+		}
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.PendingEvents() != 0 {
+		t.Fatalf("PendingEvents after run = %d, want 0", e.PendingEvents())
+	}
+}
+
+// TestTimerStaleHandle: a Timer whose event already fired (and whose record
+// may have been recycled into a new event) must never cancel anything.
+func TestTimerStaleHandle(t *testing.T) {
+	e := New()
+	firstFired, secondFired := false, false
+	tm := e.At(1, func() { firstFired = true })
+	if err := e.RunUntil(1); err != nil {
+		t.Fatal(err)
+	}
+	if !firstFired {
+		t.Fatal("first timer did not fire")
+	}
+	// This reuses the pooled record of the fired event.
+	e.At(2, func() { secondFired = true })
+	if tm.Cancel() {
+		t.Fatal("stale handle canceled a recycled event")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !secondFired {
+		t.Fatal("recycled event was suppressed by a stale handle")
+	}
+}
+
+// TestZeroTimerCancel: the zero Timer is inert.
+func TestZeroTimerCancel(t *testing.T) {
+	var tm Timer
+	if tm.Cancel() {
+		t.Fatal("zero Timer reported pending")
+	}
+}
+
+// TestAfterFireZeroAlloc asserts the headline property of the pooled event
+// path: scheduling and firing a timer allocates nothing once the engine's
+// buffers are warm.
+func TestAfterFireZeroAlloc(t *testing.T) {
+	e := New()
+	fn := func() {}
+	// Warm the event pool and heap slice.
+	for i := 0; i < 64; i++ {
+		e.After(1, fn)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.After(1, fn)
+		if !e.Step() {
+			t.Fatal("no event to fire")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("After+fire allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestCancelZeroAlloc: schedule+cancel must also be allocation-free.
+func TestCancelZeroAlloc(t *testing.T) {
+	e := New()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.After(1, fn)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm := e.After(1, fn)
+		if !tm.Cancel() {
+			t.Fatal("cancel failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("After+Cancel allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestCondInterleavedWaitSignal covers the head-indexed ring under
+// interleaved Wait/Signal traffic: wake-ups must stay strictly FIFO even as
+// the queue drains and refills across the compaction boundary.
+func TestCondInterleavedWaitSignal(t *testing.T) {
+	e := New()
+	var c Cond
+	var woke []int
+	const n = 200 // several compaction windows
+	for i := 0; i < n; i++ {
+		i := i
+		e.Go("w", func(p *Proc) {
+			p.Sleep(Duration(i)) // arrive one at a time
+			c.Wait(p)
+			woke = append(woke, i)
+		})
+	}
+	e.Go("signaler", func(p *Proc) {
+		p.Sleep(0.5)
+		for i := 0; i < n; i++ {
+			// Alternate one and two signals per tick so the ring's head
+			// chases a moving tail; extra signals on an empty queue no-op.
+			c.Signal(e)
+			if i%2 == 1 {
+				c.Signal(e)
+			}
+			p.Sleep(1.5)
+		}
+		for i := 0; i < n; i++ {
+			c.Signal(e)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(woke) != n {
+		t.Fatalf("woke %d waiters, want %d", len(woke), n)
+	}
+	for i, v := range woke {
+		if v != i {
+			t.Fatalf("wake order broken at %d: got %v", i, woke[:i+1])
+		}
+	}
+	if c.Waiting() != 0 {
+		t.Fatalf("Waiting = %d, want 0", c.Waiting())
+	}
+}
+
+// TestCondSignalBroadcastMix: Broadcast after partial Signal drains must wake
+// the survivors in FIFO order with a clean ring reset.
+func TestCondSignalBroadcastMix(t *testing.T) {
+	e := New()
+	var c Cond
+	var woke []int
+	for i := 0; i < 6; i++ {
+		i := i
+		e.Go("w", func(p *Proc) {
+			c.Wait(p)
+			woke = append(woke, i)
+		})
+	}
+	e.Go("driver", func(p *Proc) {
+		p.Sleep(1)
+		c.Signal(e)
+		c.Signal(e)
+		p.Sleep(1)
+		c.Broadcast(e)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range woke {
+		if v != i {
+			t.Fatalf("wake order = %v", woke)
+		}
+	}
+	if len(woke) != 6 {
+		t.Fatalf("woke = %v", woke)
+	}
+}
