@@ -218,23 +218,19 @@ func BenchmarkCampaignTraffic(b *testing.B) {
 // four-VM fleet migrated as one batched campaign through the facade.
 func BenchmarkFacadeCampaign(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		cfg := hybridmig.SmallConfig(8)
-		tb := hybridmig.NewTestbed(cfg)
-		reqs := make([]hybridmig.MigrationRequest, 4)
-		for k := range reqs {
-			inst := tb.Launch("vm"+itoa(k), k, hybridmig.OurApproach)
-			reqs[k] = hybridmig.MigrationRequest{Inst: inst, DstIdx: 4 + k}
+		s := hybridmig.NewScenario(hybridmig.WithNodes(8))
+		steps := make([]hybridmig.Step, 4)
+		for k := range steps {
+			name := "vm" + itoa(k)
+			s.AddVM(hybridmig.VMSpec{Name: name, Node: k, Approach: hybridmig.OurApproach})
+			steps[k] = hybridmig.Step{VM: name, Dst: 4 + k}
 		}
-		var c *hybridmig.Campaign
-		tb.Eng.Go("orch", func(p *hybridmig.Proc) {
-			p.Sleep(1)
-			c = tb.MigrateAll(p, reqs, hybridmig.BatchedK(2))
-		})
-		hybridmig.Run(tb)
-		if c == nil || c.Jobs != 4 {
+		s.Campaign(1, hybridmig.BatchedK(2), steps...)
+		res, err := s.Run()
+		if err != nil || res.Campaigns[0].Jobs != 4 {
 			b.Fatal("campaign incomplete")
 		}
-		b.ReportMetric(c.Makespan(), "makespan_s")
+		b.ReportMetric(res.Campaigns[0].Makespan(), "makespan_s")
 	}
 }
 
@@ -242,15 +238,11 @@ func BenchmarkFacadeCampaign(b *testing.B) {
 // one migration, under the quickstart scenario.
 func BenchmarkFacadeQuickstart(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		cfg := hybridmig.SmallConfig(4)
-		tb := hybridmig.NewTestbed(cfg)
-		inst := tb.Launch("vm0", 0, hybridmig.OurApproach)
-		tb.Eng.Go("mw", func(p *hybridmig.Proc) {
-			p.Sleep(1)
-			tb.MigrateInstance(p, inst, 1)
-		})
-		hybridmig.Run(tb)
-		if !inst.Migrated {
+		s := hybridmig.NewScenario(hybridmig.WithNodes(4)).
+			AddVM(hybridmig.VMSpec{Name: "vm0", Node: 0, Approach: hybridmig.OurApproach}).
+			MigrateAt("vm0", 1, 1)
+		res, err := s.Run()
+		if err != nil || !res.VM("vm0").Migrated {
 			b.Fatal("migration incomplete")
 		}
 	}

@@ -1,26 +1,26 @@
-// Command migsim runs live-migration scenarios. In single-VM mode (the
-// default) one VM runs a chosen workload and storage transfer approach and
-// is migrated after a warm-up, with a full measurement summary. With -vms N
-// (N > 1) it runs a campaign: a fleet of N VMs migrates together under an
-// orchestration policy, and the campaign aggregates are reported.
+// Command migsim runs live-migration scenarios through the declarative
+// public API. In single-VM mode (the default) one VM runs a chosen workload
+// and storage transfer approach and is migrated after a warm-up, with a full
+// measurement summary. With -vms N (N > 1) it runs a campaign: a fleet of N
+// VMs migrates together under an orchestration policy, and the campaign
+// aggregates are reported. -json emits the measurements as machine-readable
+// JSON instead of text.
 //
 // Usage:
 //
 //	migsim [-approach our-approach|mirror|postcopy|precopy|pvfs-shared]
 //	       [-workload ior|asyncwr|none] [-scale small|paper] [-warmup s]
 //	       [-vms n] [-policy all-at-once|serial|batched-k|cycle-aware] [-k n]
+//	       [-trace] [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	hybridmig "github.com/hybridmig/hybridmig"
-	"github.com/hybridmig/hybridmig/internal/experiments"
-	"github.com/hybridmig/hybridmig/internal/flow"
-	"github.com/hybridmig/hybridmig/internal/sim"
-	"github.com/hybridmig/hybridmig/internal/workload"
 )
 
 func main() {
@@ -31,6 +31,8 @@ func main() {
 	vms := flag.Int("vms", 1, "number of VMs; > 1 runs an orchestrated campaign")
 	policyName := flag.String("policy", "batched-k", "campaign policy: all-at-once, serial, batched-k, cycle-aware")
 	batchK := flag.Int("k", 2, "admission width for the batched-k and cycle-aware policies")
+	traceRun := flag.Bool("trace", false, "print the observer event stream while the scenario runs")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	flag.Parse()
 
 	var approach hybridmig.Approach
@@ -43,9 +45,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "migsim: unknown approach %q\n", *approachName)
 		os.Exit(2)
 	}
-	scale := experiments.ScaleSmall
+	scale := hybridmig.ScaleSmall
 	if *scaleName == "paper" {
-		scale = experiments.ScalePaper
+		scale = hybridmig.ScalePaper
 	}
 	if *vms > 1 {
 		var pol hybridmig.Policy
@@ -62,46 +64,81 @@ func main() {
 			fmt.Fprintf(os.Stderr, "migsim: unknown policy %q\n", *policyName)
 			os.Exit(2)
 		}
-		runCampaign(scale, approach, *workloadName, *warmup, *vms, pol)
+		runCampaign(scale, approach, *workloadName, *warmup, *vms, pol, *traceRun, *jsonOut)
 		return
 	}
-	runSingle(scale, approach, *workloadName, *warmup)
+	runSingle(scale, approach, *workloadName, *warmup, *traceRun, *jsonOut)
+}
+
+// workloadSpec maps the -workload flag to a declarative spec using the
+// scale's default parameters.
+func workloadSpec(set hybridmig.Setup, name string) hybridmig.WorkloadSpec {
+	switch name {
+	case "ior":
+		return hybridmig.IOR(&set.IOR)
+	case "asyncwr":
+		return hybridmig.AsyncWR(&set.AsyncWR, 0)
+	case "none":
+		return hybridmig.WorkloadSpec{}
+	}
+	fmt.Fprintf(os.Stderr, "migsim: unknown workload %q\n", name)
+	os.Exit(2)
+	return hybridmig.WorkloadSpec{}
+}
+
+// traceOption subscribes a printing observer when -trace is set.
+func traceOption(enabled bool) []hybridmig.Option {
+	if !enabled {
+		return nil
+	}
+	obs := hybridmig.ObserverFunc(func(e hybridmig.Event) {
+		fmt.Fprintln(os.Stderr, e)
+	})
+	return []hybridmig.Option{hybridmig.WithObserver(obs), hybridmig.WithSampleInterval(1)}
+}
+
+// fail prints the scenario error and exits nonzero.
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "migsim: %v\n", err)
+	os.Exit(1)
 }
 
 // runCampaign migrates a fleet of n VMs together under the policy, packing
 // two migrations per destination node as in the campaign experiment.
-func runCampaign(scale experiments.Scale, approach hybridmig.Approach, workloadName string, warmup float64, n int, pol hybridmig.Policy) {
-	set := experiments.NewSetup(scale, n+(n+1)/2)
+func runCampaign(scale hybridmig.Scale, approach hybridmig.Approach, workloadName string, warmup float64, n int, pol hybridmig.Policy, traceRun, jsonOut bool) {
+	set := hybridmig.SetupFor(scale, n+(n+1)/2)
 	if warmup >= 0 {
 		set.Warmup = warmup
 	}
-	tb := hybridmig.NewTestbed(set.Cluster)
-	reqs := make([]hybridmig.MigrationRequest, n)
+	s := hybridmig.NewScenario(append(traceOption(traceRun), hybridmig.WithConfig(set.Cluster))...)
+	steps := make([]hybridmig.Step, n)
 	for i := 0; i < n; i++ {
-		i := i
-		inst := tb.Launch(fmt.Sprintf("vm%02d", i), i, approach)
-		switch workloadName {
-		case "ior":
-			inst.Guest.Buffered = false
-			w := workload.NewIOR(set.IOR)
-			tb.Eng.Go(fmt.Sprintf("ior%02d", i), func(p *sim.Proc) { w.Run(p, inst.Guest) })
-		case "asyncwr":
-			w := workload.NewAsyncWR(set.AsyncWR)
-			tb.Eng.Go(fmt.Sprintf("asyncwr%02d", i), func(p *sim.Proc) { w.Run(p, inst.Guest) })
-		case "none":
-		default:
-			fmt.Fprintf(os.Stderr, "migsim: unknown workload %q\n", workloadName)
-			os.Exit(2)
-		}
-		reqs[i] = hybridmig.MigrationRequest{Inst: inst, DstIdx: n + i/2}
+		name := fmt.Sprintf("vm%02d", i)
+		s.AddVM(hybridmig.VMSpec{Name: name, Node: i, Approach: approach,
+			Workload: workloadSpec(set, workloadName)})
+		steps[i] = hybridmig.Step{VM: name, Dst: n + i/2}
 	}
-	var c *hybridmig.Campaign
-	tb.Eng.Go("orchestrator", func(p *sim.Proc) {
-		p.Sleep(set.Warmup)
-		c = tb.MigrateAll(p, reqs, pol)
-	})
-	hybridmig.Run(tb)
+	s.Campaign(set.Warmup, pol, steps...)
+	res, err := s.Run()
+	if err != nil {
+		fail(err)
+	}
+	c := res.Campaigns[0]
 
+	if jsonOut {
+		out := struct {
+			Approach hybridmig.Approach  `json:"approach"`
+			Workload string              `json:"workload"`
+			Scale    string              `json:"scale"`
+			Campaign *hybridmig.Campaign `json:"campaign"`
+		}{approach, workloadName, scale.String(), c}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fail(err)
+		}
+		return
+	}
 	fmt.Printf("approach:  %s\n", approach)
 	fmt.Printf("workload:  %s (%s scale), %d VMs, policy %s\n\n", workloadName, scale, n, pol.Name())
 	fmt.Println(c.Summary())
@@ -113,70 +150,93 @@ func runCampaign(scale experiments.Scale, approach hybridmig.Approach, workloadN
 	}
 }
 
+// singleReport is the -json shape of a single-VM run.
+type singleReport struct {
+	Approach      hybridmig.Approach       `json:"approach"`
+	Workload      string                   `json:"workload"`
+	Scale         string                   `json:"scale"`
+	MigrationS    float64                  `json:"migration_s"`
+	DowntimeMS    float64                  `json:"downtime_ms"`
+	Rounds        int                      `json:"rounds"`
+	Converged     bool                     `json:"converged"`
+	MemoryBytes   float64                  `json:"memory_bytes"`
+	BlockBytes    float64                  `json:"block_bytes,omitempty"`
+	Core          hybridmig.CoreStats      `json:"core_stats"`
+	Traffic       map[string]float64       `json:"traffic_bytes"`
+	WorkloadStats hybridmig.WorkloadResult `json:"workload_stats"`
+}
+
 // runSingle is the original one-VM scenario.
-func runSingle(scale experiments.Scale, approach hybridmig.Approach, workloadName string, warmup float64) {
-	set := experiments.NewSetup(scale, 10)
+func runSingle(scale hybridmig.Scale, approach hybridmig.Approach, workloadName string, warmup float64, traceRun, jsonOut bool) {
+	set := hybridmig.SetupFor(scale, 10)
 	if warmup >= 0 {
 		set.Warmup = warmup
 	}
-
-	tb := hybridmig.NewTestbed(set.Cluster)
-	inst := tb.Launch("vm0", 0, approach)
-
-	var ior *workload.IOR
-	var awr *workload.AsyncWR
-	switch workloadName {
-	case "ior":
-		inst.Guest.Buffered = false
-		ior = workload.NewIOR(set.IOR)
-		tb.Eng.Go("ior", func(p *sim.Proc) { ior.Run(p, inst.Guest) })
-	case "asyncwr":
-		awr = workload.NewAsyncWR(set.AsyncWR)
-		tb.Eng.Go("asyncwr", func(p *sim.Proc) { awr.Run(p, inst.Guest) })
-	case "none":
-	default:
-		fmt.Fprintf(os.Stderr, "migsim: unknown workload %q\n", workloadName)
-		os.Exit(2)
+	s := hybridmig.NewScenario(append(traceOption(traceRun), hybridmig.WithConfig(set.Cluster))...).
+		AddVM(hybridmig.VMSpec{Name: "vm0", Node: 0, Approach: approach,
+			Workload: workloadSpec(set, workloadName)}).
+		MigrateAt("vm0", 1, set.Warmup)
+	res, err := s.Run()
+	if err != nil {
+		fail(err)
 	}
+	vm := res.VM("vm0")
 
-	tb.Eng.Go("middleware", func(p *sim.Proc) {
-		p.Sleep(set.Warmup)
-		tb.MigrateInstance(p, inst, 1)
-	})
-	hybridmig.Run(tb)
-
+	if jsonOut {
+		out := singleReport{
+			Approach:      approach,
+			Workload:      workloadName,
+			Scale:         scale.String(),
+			MigrationS:    vm.MigrationTime,
+			DowntimeMS:    vm.Downtime * 1000,
+			Rounds:        vm.Rounds,
+			Converged:     vm.Converged,
+			MemoryBytes:   vm.MemoryBytes,
+			BlockBytes:    vm.BlockBytes,
+			Core:          vm.Core,
+			Traffic:       res.Traffic,
+			WorkloadStats: vm.Workload,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fail(err)
+		}
+		return
+	}
 	fmt.Printf("approach:        %s\n", approach)
 	fmt.Printf("workload:        %s (%s scale)\n", workloadName, scale)
-	fmt.Printf("migration time:  %.2f s\n", inst.MigrationTime)
-	fmt.Printf("downtime:        %.0f ms\n", inst.HVResult.Downtime*1000)
+	fmt.Printf("migration time:  %.2f s\n", vm.MigrationTime)
+	fmt.Printf("downtime:        %.0f ms\n", vm.Downtime*1000)
 	fmt.Printf("memory moved:    %.1f MB in %d rounds (converged=%v)\n",
-		inst.HVResult.MemoryBytes/(1<<20), inst.HVResult.Rounds, inst.HVResult.Converged)
-	if inst.HVResult.BlockBytes > 0 {
-		fmt.Printf("block migration: %.1f MB\n", inst.HVResult.BlockBytes/(1<<20))
+		vm.MemoryBytes/(1<<20), vm.Rounds, vm.Converged)
+	if vm.BlockBytes > 0 {
+		fmt.Printf("block migration: %.1f MB\n", vm.BlockBytes/(1<<20))
 	}
-	if inst.Core != nil {
-		st := inst.CoreStats
+	st := vm.Core
+	// The manager-backed approaches report transfer stats even when a run
+	// moved no chunks (e.g. -workload none still prefetches base content).
+	if approach == hybridmig.OurApproach || approach == hybridmig.Mirror || approach == hybridmig.Postcopy {
 		fmt.Printf("pushed:          %d chunks (%.1f MB)\n", st.PushedChunks, st.PushedBytes/(1<<20))
 		fmt.Printf("pulled:          %d background + %d on-demand (%.1f MB)\n",
 			st.PulledChunks, st.OnDemandPulls, (st.PulledBytes+st.OnDemandBytes)/(1<<20))
 		fmt.Printf("hot (deferred):  %d chunks\n", st.SkippedHot)
 		fmt.Printf("base prefetch:   %.1f MB\n", st.PrefetchBytes/(1<<20))
 	}
-	net := tb.Cl.Net
 	fmt.Printf("network traffic: memory %.1f MB, push %.1f MB, pull %.1f MB, blockmig %.1f MB, mirror %.1f MB, repo %.1f MB, pfs %.1f MB\n",
-		net.BytesByTag(flow.TagMemory)/(1<<20),
-		net.BytesByTag(flow.TagStoragePush)/(1<<20),
-		net.BytesByTag(flow.TagStoragePull)/(1<<20),
-		net.BytesByTag(flow.TagBlockMig)/(1<<20),
-		net.BytesByTag(flow.TagMirror)/(1<<20),
-		net.BytesByTag(flow.TagRepo)/(1<<20),
-		net.BytesByTag(flow.TagPFS)/(1<<20))
-	if ior != nil {
+		res.Traffic["memory"]/(1<<20),
+		res.Traffic["push"]/(1<<20),
+		res.Traffic["pull"]/(1<<20),
+		res.Traffic["blockmig"]/(1<<20),
+		res.Traffic["mirror"]/(1<<20),
+		res.Traffic["repo"]/(1<<20),
+		res.Traffic["pfs"]/(1<<20))
+	switch vm.Workload.Kind {
+	case hybridmig.WorkloadIOR:
 		fmt.Printf("IOR:             read %.1f MB/s, write %.1f MB/s over %d iterations\n",
-			ior.Report.ReadBW()/(1<<20), ior.Report.WriteBW()/(1<<20), ior.Report.Iterations)
-	}
-	if awr != nil {
+			vm.Workload.ReadBW()/(1<<20), vm.Workload.WriteBW()/(1<<20), vm.Workload.Iterations)
+	case hybridmig.WorkloadAsyncWR:
 		fmt.Printf("AsyncWR:         %d iterations, %.2f MB/s sustained\n",
-			awr.Report.Counter, awr.Report.WriteBW()/(1<<20))
+			vm.Workload.Counter, vm.Workload.WriteBW()/(1<<20))
 	}
 }

@@ -1,9 +1,12 @@
 // Command paperrepro regenerates the tables and figures of the paper's
-// evaluation section and prints them as text tables.
+// evaluation section and prints them as text tables, or as machine-readable
+// JSON with -json. Every experiment runs through the declarative scenario
+// API (see internal/experiments).
 //
 // Usage:
 //
-//	paperrepro [-experiment table1|fig3|fig4|fig5|campaign|all] [-scale small|paper]
+//	paperrepro [-experiment table1|fig3|fig4|fig5|campaign|all]
+//	           [-scale small|paper] [-json]
 //
 // At -scale paper the runs use the full Section 5 parameters (4 GB images
 // and RAM, 100 s warm-up, up to 30 concurrent migrations, 64 CM1 ranks);
@@ -11,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +27,7 @@ import (
 func main() {
 	exp := flag.String("experiment", "all", "which artifact to regenerate: table1, fig3, fig4, fig5, campaign, all")
 	scaleName := flag.String("scale", "small", "run size: small or paper")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -38,53 +43,83 @@ func main() {
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	ran := false
+	report := map[string]any{"scale": scale.String()}
 
 	if want("table1") {
 		ran = true
-		t := metrics.NewTable("Table 1: summary of compared approaches", "approach", "local storage transfer strategy")
-		for _, r := range experiments.RunTable1() {
-			t.AddRow(string(r.Approach), r.Strategy)
+		rows := experiments.RunTable1()
+		if *jsonOut {
+			report["table1"] = rows
+		} else {
+			t := metrics.NewTable("Table 1: summary of compared approaches", "approach", "local storage transfer strategy")
+			for _, r := range rows {
+				t.AddRow(string(r.Approach), r.Strategy)
+			}
+			fmt.Println(t)
 		}
-		fmt.Println(t)
 	}
 	if want("fig3") {
 		ran = true
 		start := time.Now()
 		rows := experiments.RunFig3(scale)
-		for _, t := range experiments.Fig3Tables(rows) {
-			fmt.Println(t)
+		if *jsonOut {
+			report["fig3"] = rows
+		} else {
+			for _, t := range experiments.Fig3Tables(rows) {
+				fmt.Println(t)
+			}
+			fmt.Printf("(fig3 %s scale: %.1fs wall)\n\n", scale, time.Since(start).Seconds())
 		}
-		fmt.Printf("(fig3 %s scale: %.1fs wall)\n\n", scale, time.Since(start).Seconds())
 	}
 	if want("fig4") {
 		ran = true
 		start := time.Now()
 		rows := experiments.RunFig4(scale)
-		for _, t := range experiments.Fig4Tables(scale, rows) {
-			fmt.Println(t)
+		if *jsonOut {
+			report["fig4"] = rows
+		} else {
+			for _, t := range experiments.Fig4Tables(scale, rows) {
+				fmt.Println(t)
+			}
+			fmt.Printf("(fig4 %s scale: %.1fs wall)\n\n", scale, time.Since(start).Seconds())
 		}
-		fmt.Printf("(fig4 %s scale: %.1fs wall)\n\n", scale, time.Since(start).Seconds())
 	}
 	if want("fig5") {
 		ran = true
 		start := time.Now()
 		rows := experiments.RunFig5(scale)
-		for _, t := range experiments.Fig5Tables(scale, rows) {
-			fmt.Println(t)
+		if *jsonOut {
+			report["fig5"] = rows
+		} else {
+			for _, t := range experiments.Fig5Tables(scale, rows) {
+				fmt.Println(t)
+			}
+			fmt.Printf("(fig5 %s scale: %.1fs wall)\n\n", scale, time.Since(start).Seconds())
 		}
-		fmt.Printf("(fig5 %s scale: %.1fs wall)\n\n", scale, time.Since(start).Seconds())
 	}
 	if want("campaign") {
 		ran = true
 		start := time.Now()
 		rows := experiments.RunCampaign(scale)
-		for _, t := range experiments.CampaignTables(scale, rows) {
-			fmt.Println(t)
+		if *jsonOut {
+			report["campaign"] = rows
+		} else {
+			for _, t := range experiments.CampaignTables(scale, rows) {
+				fmt.Println(t)
+			}
+			fmt.Printf("(campaign %s scale: %.1fs wall)\n\n", scale, time.Since(start).Seconds())
 		}
-		fmt.Printf("(campaign %s scale: %.1fs wall)\n\n", scale, time.Since(start).Seconds())
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "paperrepro: unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

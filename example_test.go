@@ -1,0 +1,81 @@
+package hybridmig_test
+
+import (
+	"fmt"
+	"log"
+
+	hybridmig "github.com/hybridmig/hybridmig"
+)
+
+// The quickstart scenario: one VM backed by the hybrid migration manager
+// runs the hot/cold rewrite workload and live-migrates three seconds in.
+// The simulation is deterministic, so the printed results are exact.
+func Example_quickstart() {
+	s := hybridmig.NewScenario(hybridmig.WithNodes(4)).
+		AddVM(hybridmig.VMSpec{
+			Name:     "vm0",
+			Node:     0,
+			Approach: hybridmig.OurApproach,
+			Workload: hybridmig.Rewrite(nil),
+		}).
+		MigrateAt("vm0", 1, 3)
+	res, err := s.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	vm := res.VM("vm0")
+	fmt.Printf("migrated:   %v (now on node %d)\n", vm.Migrated, vm.Node)
+	fmt.Printf("pushed:     %d chunks\n", vm.Core.PushedChunks)
+	fmt.Printf("hot:        %d chunks deferred to the pull phase\n", vm.Core.SkippedHot)
+	fmt.Printf("converged:  %v in %d rounds\n", vm.Converged, vm.Rounds)
+	// Output:
+	// migrated:   true (now on node 1)
+	// pushed:     774 chunks
+	// hot:        257 chunks deferred to the pull phase
+	// converged:  true in 5 rounds
+}
+
+// A campaign scenario: four idle VMs migrate as one orchestrated batch with
+// admission capped at two simultaneous migrations.
+func Example_campaign() {
+	s := hybridmig.NewScenario(hybridmig.WithNodes(8))
+	steps := make([]hybridmig.Step, 4)
+	for k := range steps {
+		name := fmt.Sprintf("vm%d", k)
+		s.AddVM(hybridmig.VMSpec{Name: name, Node: k, Approach: hybridmig.OurApproach})
+		steps[k] = hybridmig.Step{VM: name, Dst: 4 + k}
+	}
+	s.Campaign(1, hybridmig.BatchedK(2), steps...)
+	res, err := s.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := res.Campaigns[0]
+	fmt.Printf("policy:     %s\n", c.Policy)
+	fmt.Printf("jobs:       %d, peak %d concurrent\n", c.Jobs, c.PeakConcurrent)
+	fmt.Printf("all moved:  %v\n", res.VM("vm3").Migrated)
+	// Output:
+	// policy:     batched-2
+	// jobs:       4, peak 2 concurrent
+	// all moved:  true
+}
+
+// Observing a run: phase transitions and pre-copy rounds arrive as typed
+// events while the scenario executes.
+func Example_observer() {
+	var phases []string
+	obs := hybridmig.ObserverFunc(func(e hybridmig.Event) {
+		if e.Kind == hybridmig.KindPhase {
+			phases = append(phases, e.Detail)
+		}
+	})
+	s := hybridmig.NewScenario(hybridmig.WithNodes(4), hybridmig.WithObserver(obs)).
+		AddVM(hybridmig.VMSpec{Name: "vm0", Node: 0, Approach: hybridmig.OurApproach}).
+		MigrateAt("vm0", 1, 1)
+	if _, err := s.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(phases)
+	// Output:
+	// [push control-transfer released]
+}

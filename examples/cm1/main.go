@@ -8,9 +8,9 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	hybridmig "github.com/hybridmig/hybridmig"
-	"github.com/hybridmig/hybridmig/internal/guest"
 )
 
 const migrations = 2
@@ -25,42 +25,34 @@ func main() {
 	p.WorkingSet = 48 << 20
 	p.MemoryDirtyRate = 10 << 20
 
-	cfg := hybridmig.SmallConfig(p.Procs + migrations)
-	tb := hybridmig.NewTestbed(cfg)
-	cm1 := hybridmig.NewCM1(p, tb)
-
-	insts := make([]*hybridmig.Instance, p.Procs)
-	guests := make([]*guest.Guest, p.Procs)
-	for i := range insts {
-		insts[i] = tb.Launch(fmt.Sprintf("rank%02d", i), i, hybridmig.OurApproach)
-		guests[i] = insts[i].Guest
-	}
-	for i := range insts {
-		i := i
-		tb.Eng.Go(fmt.Sprintf("cm1rank%02d", i), func(pr *hybridmig.Proc) {
-			cm1.Rank(pr, i, guests[i], guests)
-		})
+	s := hybridmig.NewScenario(
+		hybridmig.WithNodes(p.Procs+migrations),
+		hybridmig.WithCM1(p),
+	)
+	for i := 0; i < p.Procs; i++ {
+		s.AddVM(hybridmig.VMSpec{Name: fmt.Sprintf("rank%02d", i), Node: i,
+			Approach: hybridmig.OurApproach})
 	}
 	for k := 0; k < migrations; k++ {
-		k := k
-		tb.Eng.Go(fmt.Sprintf("mw%d", k), func(pr *hybridmig.Proc) {
-			pr.Sleep(8 * float64(k+1))
-			tb.MigrateInstance(pr, insts[k], p.Procs+k)
-		})
+		s.MigrateAt(fmt.Sprintf("rank%02d", k), p.Procs+k, 8*float64(k+1))
 	}
 
-	hybridmig.Run(tb)
+	res, err := s.Run()
+	if err != nil {
+		log.Fatalf("cm1: %v", err)
+	}
 
 	fmt.Printf("CM1 %dx%d, %d supersteps, %d successive migrations:\n\n",
 		p.GridX, p.GridY, p.Intervals, migrations)
 	var cumul float64
 	for k := 0; k < migrations; k++ {
-		fmt.Printf("  rank%02d migrated in %.2f s\n", k, insts[k].MigrationTime)
-		cumul += insts[k].MigrationTime
+		vm := res.VM(fmt.Sprintf("rank%02d", k))
+		fmt.Printf("  rank%02d migrated in %.2f s\n", k, vm.MigrationTime)
+		cumul += vm.MigrationTime
 	}
 	fmt.Printf("\ncumulated migration time: %.2f s\n", cumul)
 	fmt.Printf("application runtime:      %.2f s (%d supersteps)\n",
-		cm1.Report.Runtime, cm1.Report.Intervals)
-	fmt.Println("\nCompare against a migration-free run (comment the middleware out)")
+		res.CM1.Runtime, res.CM1.Intervals)
+	fmt.Println("\nCompare against a migration-free run (drop the MigrateAt calls)")
 	fmt.Println("to see the barrier-coupled slowdown of Figure 5(c).")
 }

@@ -9,6 +9,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	hybridmig "github.com/hybridmig/hybridmig"
 )
@@ -18,48 +19,36 @@ const (
 	concurrent = 3
 )
 
-// campaign builds a fresh fleet and migrates the first half under pol,
-// returning the campaign stats and the fleet's aggregate compute counter.
+// campaign builds a fresh fleet scenario and migrates the first half under
+// pol, returning the campaign stats and the fleet's aggregate compute
+// counter.
 func campaign(pol hybridmig.Policy) (*hybridmig.Campaign, int64) {
-	cfg := hybridmig.SmallConfig(2 * sources)
-	tb := hybridmig.NewTestbed(cfg)
+	p := hybridmig.DefaultAsyncWRParams()
+	p.Iterations = 60
+	p.DataPerIter = 2 << 20
+	p.ComputeTime = 0.35
+	p.WorkingSet = 16 << 20
+	p.MemoryDirtyRate = 8 << 20
 
-	// Deploy the fleet, each VM running AsyncWR (compute + async writes).
-	insts := make([]*hybridmig.Instance, sources)
-	loads := make([]*hybridmig.AsyncWR, sources)
+	// Deploy the fleet, each VM running AsyncWR (compute + async writes),
+	// and migrate the first half as one campaign after a warm-up.
+	s := hybridmig.NewScenario(hybridmig.WithNodes(2 * sources))
+	steps := make([]hybridmig.Step, concurrent)
 	for i := 0; i < sources; i++ {
-		i := i
-		insts[i] = tb.Launch(fmt.Sprintf("vm%d", i), i, hybridmig.OurApproach)
-		p := hybridmig.DefaultAsyncWRParams()
-		p.Iterations = 60
-		p.DataPerIter = 2 << 20
-		p.ComputeTime = 0.35
-		p.WorkingSet = 16 << 20
-		p.MemoryDirtyRate = 8 << 20
-		loads[i] = hybridmig.NewAsyncWR(p)
-		tb.Eng.Go(fmt.Sprintf("asyncwr%d", i), func(pr *hybridmig.Proc) {
-			loads[i].Run(pr, insts[i].Guest)
-		})
+		name := fmt.Sprintf("vm%d", i)
+		s.AddVM(hybridmig.VMSpec{Name: name, Node: i,
+			Approach: hybridmig.OurApproach, Workload: hybridmig.AsyncWR(&p, 0)})
+		if i < concurrent {
+			steps[i] = hybridmig.Step{VM: name, Dst: sources + i}
+		}
 	}
+	s.Campaign(8, pol, steps...)
 
-	// Migrate the first half as one campaign after a warm-up.
-	reqs := make([]hybridmig.MigrationRequest, concurrent)
-	for k := 0; k < concurrent; k++ {
-		reqs[k] = hybridmig.MigrationRequest{Inst: insts[k], DstIdx: sources + k}
+	res, err := s.Run()
+	if err != nil {
+		log.Fatalf("concurrent: %s: %v", pol.Name(), err)
 	}
-	var c *hybridmig.Campaign
-	tb.Eng.Go("orchestrator", func(p *hybridmig.Proc) {
-		p.Sleep(8)
-		c = tb.MigrateAll(p, reqs, pol)
-	})
-
-	hybridmig.Run(tb)
-
-	var iter int64
-	for _, w := range loads {
-		iter += w.Report.Counter
-	}
-	return c, iter
+	return res.Campaigns[0], int64(res.TotalCounter())
 }
 
 func main() {

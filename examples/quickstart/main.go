@@ -1,49 +1,48 @@
-// Quickstart: deploy one VM backed by the hybrid migration manager, give it
-// some I/O, live-migrate it, and print what the migration cost.
+// Quickstart: declare one VM backed by the hybrid migration manager, give
+// it a hot/cold rewrite workload, live-migrate it, and print what the
+// migration cost — all through the declarative Scenario API.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
 	"fmt"
+	"log"
 
 	hybridmig "github.com/hybridmig/hybridmig"
 )
 
 func main() {
-	// A small-scale testbed (1/16 of the paper's sizes) with 4 nodes.
-	cfg := hybridmig.SmallConfig(4)
-	tb := hybridmig.NewTestbed(cfg)
+	// A little guest activity: keep rewriting a file (hot leading half,
+	// cold remainder) so the migration has both hot and cold chunks to
+	// deal with.
+	wl := hybridmig.DefaultRewriteParams()
 
-	// One VM on node 0 using the paper's approach.
-	inst := tb.Launch("vm0", 0, hybridmig.OurApproach)
+	// One VM on node 0 using the paper's approach, on a small-scale
+	// testbed (1/16 of the paper's sizes) with 4 nodes; the cloud
+	// middleware migrates it to node 1 after a short warm-up.
+	s := hybridmig.NewScenario(hybridmig.WithNodes(4)).
+		AddVM(hybridmig.VMSpec{
+			Name:     "vm0",
+			Node:     0,
+			Approach: hybridmig.OurApproach,
+			Workload: hybridmig.Rewrite(&wl),
+		}).
+		MigrateAt("vm0", 1, 3)
 
-	// A little guest activity: create a file and keep rewriting a part of it
-	// so the migration has both cold and hot chunks to deal with.
-	tb.Eng.Go("workload", func(p *hybridmig.Proc) {
-		f := inst.Guest.FS.Create("scratch.dat", 64<<20)
-		for i := 0; i < 16; i++ {
-			inst.Guest.FS.Write(p, f, 0, 32<<20) // hot half
-			inst.Guest.FS.Write(p, f, 32<<20, 32<<20)
-			p.Sleep(0.5)
-		}
-	})
+	res, err := s.Run()
+	if err != nil {
+		log.Fatalf("quickstart: %v", err)
+	}
 
-	// The cloud middleware migrates the VM to node 1 after a short warm-up.
-	tb.Eng.Go("middleware", func(p *hybridmig.Proc) {
-		p.Sleep(3)
-		tb.MigrateInstance(p, inst, 1)
-	})
-
-	hybridmig.Run(tb)
-
-	st := inst.CoreStats
+	vm := res.VM("vm0")
+	st := vm.Core
 	fmt.Printf("migration time:      %.2f s (control transfer at %.2f s)\n",
-		inst.MigrationTime, st.ControlAt-st.RequestedAt)
-	fmt.Printf("downtime:            %.0f ms\n", inst.HVResult.Downtime*1000)
+		vm.MigrationTime, st.ControlAt-st.RequestedAt)
+	fmt.Printf("downtime:            %.0f ms\n", vm.Downtime*1000)
 	fmt.Printf("chunks pushed:       %d (%.1f MB on the wire)\n", st.PushedChunks, st.PushedBytes/(1<<20))
 	fmt.Printf("chunks pulled:       %d background + %d on-demand\n", st.PulledChunks, st.OnDemandPulls)
 	fmt.Printf("hot chunks deferred: %d (write count reached the threshold)\n", st.SkippedHot)
 	fmt.Printf("base prefetched:     %.1f MB from the repository\n", st.PrefetchBytes/(1<<20))
-	fmt.Printf("VM now on:           %v\n", inst.VM.Node)
+	fmt.Printf("VM now on:           node%d\n", vm.Node)
 }

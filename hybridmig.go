@@ -11,36 +11,46 @@
 // with the four baselines the paper compares against (mirror, postcopy,
 // precopy block migration, and shared-PFS storage).
 //
-// This package is the public facade: it re-exports the types needed to
-// assemble testbeds, deploy VM instances per approach, drive the bundled
-// workloads (IOR, AsyncWR, CM1), trigger live migrations, and regenerate
-// every table and figure of the paper's evaluation. The implementation
-// lives in internal/ packages; see DESIGN.md for the system inventory and
-// EXPERIMENTS.md for paper-vs-measured results.
+// The public API is declarative: describe a Scenario — VMs (name, node,
+// approach, workload), a migration plan (timed per-VM moves or an
+// orchestrated campaign under an admission policy), and run options — then
+// call Run, which returns a typed Result and a real error. There is no
+// process wiring, no engine access, and no panic on failure; a scenario
+// whose work cannot finish by the horizon fails with a *DeadlineError.
 //
 // A minimal session:
 //
-//	cfg := hybridmig.DefaultConfig(10)
-//	tb := hybridmig.NewTestbed(cfg)
-//	inst := tb.Launch("vm0", 0, hybridmig.OurApproach)
-//	ior := hybridmig.NewIOR(hybridmig.DefaultIORParams())
-//	tb.Eng.Go("ior", func(p *hybridmig.Proc) { ior.Run(p, inst.Guest) })
-//	tb.Eng.Go("mw", func(p *hybridmig.Proc) {
-//		p.Sleep(100) // the paper's warm-up
-//		tb.MigrateInstance(p, inst, 1)
-//	})
-//	tb.Run()
-//	fmt.Println(inst.MigrationTime)
+//	s := hybridmig.NewScenario(hybridmig.WithNodes(4)).
+//		AddVM(hybridmig.VMSpec{
+//			Name:     "vm0",
+//			Node:     0,
+//			Approach: hybridmig.OurApproach,
+//			Workload: hybridmig.IOR(nil), // scale-default IOR benchmark
+//		}).
+//		MigrateAt("vm0", 1, 3) // to node 1, three seconds in
+//	res, err := s.Run()
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	fmt.Printf("migrated in %.2f s\n", res.VM("vm0").MigrationTime)
+//
+// Observers subscribe through WithObserver and receive the run's trace —
+// migration phase transitions, hypervisor pre-copy rounds, campaign
+// admissions, degradation samples — as typed events instead of scraping
+// logs. The simulation layers publish; observing never perturbs a run.
+//
+// The implementation lives in internal/ packages; see DESIGN.md for the
+// system inventory and EXPERIMENTS.md for paper-vs-measured results.
 package hybridmig
 
 import (
 	"github.com/hybridmig/hybridmig/internal/cluster"
-	"github.com/hybridmig/hybridmig/internal/experiments"
+	"github.com/hybridmig/hybridmig/internal/core"
 	"github.com/hybridmig/hybridmig/internal/metrics"
 	"github.com/hybridmig/hybridmig/internal/params"
+	"github.com/hybridmig/hybridmig/internal/scenario"
 	"github.com/hybridmig/hybridmig/internal/sched"
 	"github.com/hybridmig/hybridmig/internal/sim"
-	"github.com/hybridmig/hybridmig/internal/workload"
 )
 
 // Approach names one of the five compared storage transfer strategies.
@@ -58,21 +68,9 @@ const (
 // Approaches lists all five approaches in the paper's order.
 func Approaches() []Approach { return cluster.Approaches() }
 
-// Config assembles every knob of a simulated testbed.
+// Config assembles every knob of a simulated testbed. Pass one through
+// WithConfig to control the cluster beyond the per-scale defaults.
 type Config = cluster.Config
-
-// Testbed is a fully assembled simulated datacenter.
-type Testbed = cluster.Testbed
-
-// Instance is one deployed VM with its I/O stack and migration results.
-type Instance = cluster.Instance
-
-// Proc is a simulation process handle; workload and middleware code runs in
-// one.
-type Proc = sim.Proc
-
-// Engine is the discrete-event engine driving a testbed.
-type Engine = sim.Engine
 
 // DefaultConfig returns the paper's testbed configuration (Section 5.1) for
 // the given node count: 117.5 MB/s NICs, 55 MB/s disks, 8 GB/s fabric, 4 GB
@@ -83,37 +81,44 @@ func DefaultConfig(nodes int) Config { return cluster.DefaultConfig(nodes) }
 // ratios, for fast experiments and tests.
 func SmallConfig(nodes int) Config { return cluster.SmallConfig(nodes) }
 
-// NewTestbed assembles a datacenter: nodes, repository (BlobSeer stand-in),
-// parallel file system (PVFS stand-in), and the 4 GB base image installed
-// in both.
-func NewTestbed(cfg Config) *Testbed { return cluster.New(cfg) }
+// Scale selects the run size for scenarios and experiment defaults.
+type Scale = scenario.Scale
 
-// Run drives the testbed's simulation until all activity drains.
-func Run(tb *Testbed) {
-	if err := tb.Eng.RunUntil(1e9); err != nil {
-		panic(err)
-	}
-	tb.Eng.Shutdown()
-}
+// Experiment scales.
+const (
+	ScaleSmall = scenario.ScaleSmall
+	ScalePaper = scenario.ScalePaper
+)
+
+// Setup bundles the per-scale defaults a run builds on: cluster
+// configuration plus the paper's workload parameters and timing constants.
+type Setup = scenario.Setup
+
+// SetupFor returns the default Setup for a scale and node count.
+func SetupFor(s Scale, nodes int) Setup { return scenario.NewSetup(s, nodes) }
+
+// DeadlineError is returned (wrapped) by Scenario.Run when the simulation
+// still has pending work at the horizon; detect it with errors.As.
+type DeadlineError = sim.DeadlineError
+
+// ErrInvalidScenario is wrapped by every scenario validation failure;
+// detect it with errors.Is.
+var ErrInvalidScenario = scenario.ErrInvalidScenario
 
 // Campaign orchestration: batches of simultaneous migrations executed under
 // an admission policy (see internal/sched and DESIGN.md §9).
 type (
 	// Policy decides when each migration of a campaign runs.
 	Policy = sched.Policy
-	// Orchestrator executes migration campaigns; Testbed.MigrateAll wraps
-	// one, so most callers never construct it directly.
-	Orchestrator = sched.Orchestrator
-	// MigrationRequest is one instance → destination-node pair of a campaign.
-	MigrationRequest = cluster.MigrationRequest
 	// Campaign is the aggregate result of one orchestrated batch of
 	// migrations: makespan, total downtime, peak concurrency, traffic.
+	// It marshals to JSON with derived aggregates included.
 	Campaign = metrics.Campaign
+	// JobStat is the per-migration record of a campaign.
+	JobStat = metrics.JobStat
+	// TagBytes attributes campaign traffic to one flow tag.
+	TagBytes = metrics.TagBytes
 )
-
-// NewOrchestrator builds a standalone orchestrator over the testbed's
-// engine and network (Testbed.MigrateAll is the usual entry point).
-func NewOrchestrator(tb *Testbed) *Orchestrator { return sched.New(tb.Eng, tb.Cl.Net) }
 
 // The four campaign policies.
 func AllAtOnce() Policy       { return sched.AllAtOnce{} }
@@ -124,47 +129,25 @@ func CycleAware(k int) Policy { return sched.CycleAware{K: k} }
 // Policies returns the standard policy set for a campaign of n migrations.
 func Policies(n int) []Policy { return sched.Policies(n) }
 
-// Workloads of the paper's evaluation (Section 5.3-5.5).
+// Workload parameter bundles (paper defaults). Pass pointers to these — or
+// nil for the run scale's defaults — when declaring workloads.
 type (
-	// IOR is the HPC I/O benchmark: per iteration, write then read one file
-	// sequentially in fixed blocks.
-	IOR = workload.IOR
-	// AsyncWR mixes compute with asynchronous buffered writes; its counter
-	// measures computational potential.
-	AsyncWR = workload.AsyncWR
-	// CM1 is the BSP atmospheric stencil: compute, halo exchange, barrier,
-	// and a periodic output dump per superstep.
-	CM1 = workload.CM1
+	// IORParams configures the IOR HPC I/O benchmark (Section 5.3).
+	IORParams = params.IOR
+	// AsyncWRParams configures the compute + asynchronous-write benchmark.
+	AsyncWRParams = params.AsyncWR
+	// CM1Params configures the CM1 BSP stencil application (Section 5.5).
+	CM1Params = params.CM1
+	// RewriteParams configures the hot/cold rewrite workload.
+	RewriteParams = params.Rewrite
 )
 
-// NewIOR builds an IOR benchmark instance.
-func NewIOR(p params.IOR) *IOR { return workload.NewIOR(p) }
+// Paper-default workload parameters.
+func DefaultIORParams() IORParams         { return params.DefaultIOR() }
+func DefaultAsyncWRParams() AsyncWRParams { return params.DefaultAsyncWR() }
+func DefaultCM1Params() CM1Params         { return params.DefaultCM1() }
+func DefaultRewriteParams() RewriteParams { return params.DefaultRewrite() }
 
-// NewAsyncWR builds an AsyncWR benchmark instance.
-func NewAsyncWR(p params.AsyncWR) *AsyncWR { return workload.NewAsyncWR(p) }
-
-// NewCM1 builds a CM1 coordinator over the testbed's fabric.
-func NewCM1(p params.CM1, tb *Testbed) *CM1 { return workload.NewCM1(p, tb.Cl) }
-
-// Workload parameter bundles (paper defaults).
-func DefaultIORParams() params.IOR         { return params.DefaultIOR() }
-func DefaultAsyncWRParams() params.AsyncWR { return params.DefaultAsyncWR() }
-func DefaultCM1Params() params.CM1         { return params.DefaultCM1() }
-
-// Scale selects experiment size for the paper-reproduction runners.
-type Scale = experiments.Scale
-
-// Experiment scales.
-const (
-	ScaleSmall = experiments.ScaleSmall
-	ScalePaper = experiments.ScalePaper
-)
-
-// Paper-artifact runners: each regenerates the rows of one table or figure
-// of the evaluation section. See cmd/paperrepro for the CLI.
-var (
-	RunTable1 = experiments.RunTable1
-	RunFig3   = experiments.RunFig3
-	RunFig4   = experiments.RunFig4
-	RunFig5   = experiments.RunFig5
-)
+// CoreStats exposes the migration manager's per-VM transfer statistics
+// (pushed/pulled/prefetched bytes and chunks, dedup hits, ...).
+type CoreStats = core.Stats

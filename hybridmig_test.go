@@ -1,43 +1,39 @@
 package hybridmig_test
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
 	hybridmig "github.com/hybridmig/hybridmig"
-	"github.com/hybridmig/hybridmig/internal/guest"
 )
 
 // TestPublicAPIQuickstart runs the doc-comment session end to end through
-// the facade only.
+// the facade only: declare, run, read the result.
 func TestPublicAPIQuickstart(t *testing.T) {
-	cfg := hybridmig.SmallConfig(4)
-	tb := hybridmig.NewTestbed(cfg)
-	inst := tb.Launch("vm0", 0, hybridmig.OurApproach)
-
 	p := hybridmig.DefaultIORParams()
 	p.Iterations = 4
 	p.FileSize = 32 << 20
-	ior := hybridmig.NewIOR(p)
-	inst.Guest.Buffered = false
-	tb.Eng.Go("ior", func(pr *hybridmig.Proc) { ior.Run(pr, inst.Guest) })
-	tb.Eng.Go("mw", func(pr *hybridmig.Proc) {
-		pr.Sleep(2)
-		tb.MigrateInstance(pr, inst, 1)
-	})
-	hybridmig.Run(tb)
-
-	if !inst.Migrated {
+	s := hybridmig.NewScenario(hybridmig.WithNodes(4)).
+		AddVM(hybridmig.VMSpec{Name: "vm0", Node: 0,
+			Approach: hybridmig.OurApproach, Workload: hybridmig.IOR(&p)}).
+		MigrateAt("vm0", 1, 2)
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := res.VM("vm0")
+	if vm == nil || !vm.Migrated {
 		t.Fatal("migration incomplete")
 	}
-	if inst.MigrationTime <= 0 {
-		t.Fatalf("migration time %v", inst.MigrationTime)
+	if vm.MigrationTime <= 0 {
+		t.Fatalf("migration time %v", vm.MigrationTime)
 	}
-	if ior.Report.Iterations != 4 {
-		t.Fatalf("IOR iterations = %d", ior.Report.Iterations)
+	if vm.Workload.Iterations != 4 {
+		t.Fatalf("IOR iterations = %d", vm.Workload.Iterations)
 	}
-	if inst.VM.Node != tb.Cl.Nodes[1] {
-		t.Fatal("VM not on destination")
+	if vm.Node != 1 {
+		t.Fatalf("VM on node %d, want 1", vm.Node)
 	}
 }
 
@@ -48,27 +44,30 @@ func TestPublicAPIAllApproaches(t *testing.T) {
 		t.Fatal("expected five approaches")
 	}
 	for i, a := range hybridmig.Approaches() {
-		cfg := hybridmig.SmallConfig(12)
-		tb := hybridmig.NewTestbed(cfg)
-		inst := tb.Launch("vm", i, a)
-		tb.Eng.Go("wl", func(pr *hybridmig.Proc) {
-			f := inst.Guest.FS.Create("d", 16<<20)
-			inst.Guest.FS.Write(pr, f, 0, 16<<20)
-		})
-		tb.Eng.Go("mw", func(pr *hybridmig.Proc) {
-			pr.Sleep(1)
-			tb.MigrateInstance(pr, inst, i+6)
-		})
-		hybridmig.Run(tb)
-		if !inst.Migrated {
+		rw := hybridmig.DefaultRewriteParams()
+		rw.FileSize = 16 << 20
+		rw.HotBytes = 0
+		rw.Iterations = 1
+		s := hybridmig.NewScenario(hybridmig.WithNodes(12)).
+			AddVM(hybridmig.VMSpec{Name: "vm", Node: i, Approach: a,
+				Workload: hybridmig.Rewrite(&rw)}).
+			MigrateAt("vm", i+6, 1)
+		res, err := s.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if !res.VM("vm").Migrated {
 			t.Fatalf("%s: migration incomplete", a)
+		}
+		if res.VM("vm").Node != i+6 {
+			t.Fatalf("%s: VM not on destination", a)
 		}
 	}
 }
 
 // TestPublicAPICampaign drives the orchestration surface end to end: a
-// four-VM fleet migrated as one campaign under each of the four policies,
-// entirely through the facade.
+// four-VM fleet migrated as one campaign under each of the standard
+// policies, entirely through the facade.
 func TestPublicAPICampaign(t *testing.T) {
 	pols := hybridmig.Policies(4)
 	if len(pols) != 4 {
@@ -77,30 +76,28 @@ func TestPublicAPICampaign(t *testing.T) {
 	pols = append(pols, hybridmig.AllAtOnce(), hybridmig.Serial(),
 		hybridmig.BatchedK(3), hybridmig.CycleAware(2))
 	for _, pol := range pols {
-		cfg := hybridmig.SmallConfig(8)
-		tb := hybridmig.NewTestbed(cfg)
-		reqs := make([]hybridmig.MigrationRequest, 4)
-		for k := range reqs {
-			inst := tb.Launch(fmt.Sprintf("vm%d", k), k, hybridmig.OurApproach)
-			reqs[k] = hybridmig.MigrationRequest{Inst: inst, DstIdx: 4 + k}
+		s := hybridmig.NewScenario(hybridmig.WithNodes(8))
+		steps := make([]hybridmig.Step, 4)
+		for k := range steps {
+			name := fmt.Sprintf("vm%d", k)
+			s.AddVM(hybridmig.VMSpec{Name: name, Node: k, Approach: hybridmig.OurApproach})
+			steps[k] = hybridmig.Step{VM: name, Dst: 4 + k}
 		}
-		var c *hybridmig.Campaign
-		tb.Eng.Go("orch", func(p *hybridmig.Proc) {
-			p.Sleep(1)
-			c = tb.MigrateAll(p, reqs, pol)
-		})
-		hybridmig.Run(tb)
-		if c == nil {
-			t.Fatalf("%s: campaign incomplete", pol.Name())
+		s.Campaign(1, pol, steps...)
+		res, err := s.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
 		}
+		c := res.Campaigns[0]
 		if c.Jobs != 4 || c.Makespan() <= 0 || c.TransferredBytes <= 0 {
 			t.Errorf("%s: degenerate campaign %+v", pol.Name(), c)
 		}
-		for k, r := range reqs {
-			if !r.Inst.Migrated {
+		for k := range steps {
+			vm := res.VM(fmt.Sprintf("vm%d", k))
+			if !vm.Migrated {
 				t.Errorf("%s: vm%d not migrated", pol.Name(), k)
 			}
-			if r.Inst.VM.Node != tb.Cl.Nodes[4+k] {
+			if vm.Node != 4+k {
 				t.Errorf("%s: vm%d not on destination", pol.Name(), k)
 			}
 		}
@@ -119,34 +116,76 @@ func TestPublicAPICM1(t *testing.T) {
 	p.WorkingSet = 16 << 20
 	p.MemoryDirtyRate = 8 << 20
 
-	cfg := hybridmig.SmallConfig(6)
-	tb := hybridmig.NewTestbed(cfg)
-	cm1 := hybridmig.NewCM1(p, tb)
-	insts := make([]*hybridmig.Instance, p.Procs)
-	guests := make([]*guest.Guest, p.Procs)
-	for i := range insts {
-		insts[i] = tb.Launch(fmt.Sprintf("rank%d", i), i, hybridmig.OurApproach)
-		guests[i] = insts[i].Guest
+	s := hybridmig.NewScenario(hybridmig.WithNodes(6), hybridmig.WithCM1(p))
+	for i := 0; i < 4; i++ {
+		s.AddVM(hybridmig.VMSpec{Name: fmt.Sprintf("rank%d", i), Node: i,
+			Approach: hybridmig.OurApproach})
 	}
-	for i := range insts {
-		i := i
-		tb.Eng.Go(fmt.Sprintf("cm1-%d", i), func(pr *hybridmig.Proc) {
-			cm1.Rank(pr, i, guests[i], guests)
-		})
+	s.MigrateAt("rank0", 4, 1)
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
 	}
-	tb.Eng.Go("mw", func(pr *hybridmig.Proc) {
-		pr.Sleep(1)
-		tb.MigrateInstance(pr, insts[0], 4)
-	})
-	hybridmig.Run(tb)
-
-	if cm1.Report.Intervals != 3 {
-		t.Fatalf("CM1 finished %d intervals, want 3", cm1.Report.Intervals)
+	if res.CM1 == nil || res.CM1.Intervals != 3 {
+		t.Fatalf("CM1 finished %+v, want 3 intervals", res.CM1)
 	}
-	if !insts[0].Migrated {
+	if !res.VM("rank0").Migrated {
 		t.Fatal("migration incomplete")
 	}
-	if cm1.Report.Runtime <= 3 {
-		t.Fatalf("runtime %v implausibly short", cm1.Report.Runtime)
+	if res.CM1.Runtime <= 3 {
+		t.Fatalf("runtime %v implausibly short", res.CM1.Runtime)
+	}
+}
+
+// TestPublicAPIErrors pins the typed error surface: validation failures wrap
+// ErrInvalidScenario; horizon overruns are *DeadlineError.
+func TestPublicAPIErrors(t *testing.T) {
+	_, err := hybridmig.NewScenario().Run()
+	if !errors.Is(err, hybridmig.ErrInvalidScenario) {
+		t.Fatalf("empty scenario error %v does not wrap ErrInvalidScenario", err)
+	}
+
+	s := hybridmig.NewScenario(hybridmig.WithNodes(4), hybridmig.WithHorizon(0.5)).
+		AddVM(hybridmig.VMSpec{Name: "vm0", Node: 0, Approach: hybridmig.OurApproach,
+			Workload: hybridmig.Rewrite(nil)}).
+		MigrateAt("vm0", 1, 2)
+	_, err = s.Run()
+	var de *hybridmig.DeadlineError
+	if !errors.As(err, &de) {
+		t.Fatalf("horizon overrun error %T is not a *DeadlineError", err)
+	}
+}
+
+// TestPublicAPIObserver checks the facade observer hook sees the migration
+// lifecycle in order.
+func TestPublicAPIObserver(t *testing.T) {
+	var kinds []hybridmig.EventKind
+	obs := hybridmig.ObserverFunc(func(e hybridmig.Event) { kinds = append(kinds, e.Kind) })
+	s := hybridmig.NewScenario(hybridmig.WithNodes(4), hybridmig.WithObserver(obs)).
+		AddVM(hybridmig.VMSpec{Name: "vm0", Node: 0, Approach: hybridmig.OurApproach,
+			Workload: hybridmig.Rewrite(nil)}).
+		MigrateAt("vm0", 1, 2)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var sawReq, sawRound, sawDone bool
+	for _, k := range kinds {
+		switch k {
+		case hybridmig.KindMigrationRequested:
+			sawReq = true
+		case hybridmig.KindRound:
+			if !sawReq {
+				t.Fatal("pre-copy round before migration request")
+			}
+			sawRound = true
+		case hybridmig.KindMigrationCompleted:
+			if !sawRound {
+				t.Fatal("completion before any pre-copy round")
+			}
+			sawDone = true
+		}
+	}
+	if !sawReq || !sawRound || !sawDone {
+		t.Fatalf("lifecycle incomplete: req=%v round=%v done=%v", sawReq, sawRound, sawDone)
 	}
 }

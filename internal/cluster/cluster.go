@@ -20,6 +20,7 @@ import (
 	"github.com/hybridmig/hybridmig/internal/pfs"
 	"github.com/hybridmig/hybridmig/internal/sched"
 	"github.com/hybridmig/hybridmig/internal/sim"
+	"github.com/hybridmig/hybridmig/internal/trace"
 	"github.com/hybridmig/hybridmig/internal/vm"
 )
 
@@ -128,7 +129,19 @@ type Testbed struct {
 	basePFS   *pfs.File
 	geo       chunk.Geometry
 	instances []*Instance
+	bus       *trace.Bus
 }
+
+// Observe subscribes an observer to the testbed's trace bus: migration
+// requests and completions (this layer), storage phase transitions
+// (internal/core), pre-copy rounds (internal/hv), and campaign admissions
+// (internal/sched). Subscribe before Launch so managers created later see
+// the bus; with no subscribers the bus is inert and runs are bit-identical
+// to unobserved ones.
+func (tb *Testbed) Observe(o trace.Observer) { tb.bus.Subscribe(o) }
+
+// Bus returns the testbed's trace bus (the scenario layer samples onto it).
+func (tb *Testbed) Bus() *trace.Bus { return tb.bus }
 
 // New builds the testbed: BlobSeer and PVFS both span all compute nodes, as
 // in Section 5.2, and the 4 GB base image is installed in both.
@@ -147,6 +160,7 @@ func New(cfg Config) *Testbed {
 		PFS:  fs,
 		Cfg:  cfg,
 		geo:  chunk.NewGeometry(cfg.Testbed.ImageSize, cfg.Testbed.ChunkSize),
+		bus:  &trace.Bus{},
 	}
 	tb.baseBlob = repo.Create(cfg.Testbed.ImageSize)
 	ids := make([]blob.ContentID, tb.baseBlob.Stripes())
@@ -193,10 +207,12 @@ func (tb *Testbed) managerOptions(mode core.Mode) core.Options {
 	if tb.Cfg.ManagerOverride != nil {
 		o := *tb.Cfg.ManagerOverride
 		o.Mode = mode
+		o.Trace = tb.bus
 		return o
 	}
 	m := tb.Cfg.Manager
 	return core.Options{
+		Trace:              tb.bus,
 		Mode:               mode,
 		Threshold:          m.Threshold,
 		PushBatch:          m.PushBatch,
@@ -276,6 +292,10 @@ func (tb *Testbed) Instances() []*Instance { return tb.instances }
 func (tb *Testbed) MigrateInstance(p *sim.Proc, inst *Instance, dstIdx int) {
 	dst := tb.Cl.Nodes[dstIdx]
 	start := tb.Eng.Now()
+	if tb.bus.Active() {
+		tb.bus.Emit(trace.Event{Time: start, Kind: trace.KindMigrationRequested,
+			VM: inst.Name, Detail: string(inst.Approach), Value: float64(dst.ID)})
+	}
 	// Host-side migration work steals guest CPU for as long as the VM's
 	// host is involved in transfers (Section 2's "impact on application
 	// performance" is precisely this resource consumption).
@@ -288,7 +308,7 @@ func (tb *Testbed) MigrateInstance(p *sim.Proc, inst *Instance, dstIdx int) {
 		if inst.Approach == Mirror {
 			stopGate = inst.Core.BulkDoneGate()
 		}
-		inst.HVResult = hv.Migrate(p, tb.Cl, inst.VM, dst, tb.Cfg.HV, nil, stopGate)
+		inst.HVResult = hv.MigrateTraced(p, tb.Cl, inst.VM, dst, tb.Cfg.HV, nil, stopGate, tb.bus)
 		// The destination host cache starts cold except for the content the
 		// migration itself moved through its RAM.
 		inst.Guest.Cache.Invalidate()
@@ -308,17 +328,21 @@ func (tb *Testbed) MigrateInstance(p *sim.Proc, inst *Instance, dstIdx int) {
 			inst.MigrationTime = end - start
 		}
 	case Precopy:
-		inst.HVResult = hv.Migrate(p, tb.Cl, inst.VM, dst, tb.Cfg.HV, inst.COW, nil)
+		inst.HVResult = hv.MigrateTraced(p, tb.Cl, inst.VM, dst, tb.Cfg.HV, inst.COW, nil, tb.bus)
 		inst.COW.MoveTo(dst)
 		inst.Guest.Cache.Invalidate()
 		inst.COW.ForEachLocalRange(inst.Guest.Cache.MarkCachedRange)
 		inst.MigrationTime = inst.HVResult.ControlTransfer - start
 	case PVFSShared:
-		inst.HVResult = hv.Migrate(p, tb.Cl, inst.VM, dst, tb.Cfg.HV, nil, nil)
+		inst.HVResult = hv.MigrateTraced(p, tb.Cl, inst.VM, dst, tb.Cfg.HV, nil, nil, tb.bus)
 		inst.sharedImg.MoveTo(dst)
 		inst.MigrationTime = inst.HVResult.ControlTransfer - start
 	}
 	inst.Migrated = true
+	if tb.bus.Active() {
+		tb.bus.Emit(trace.Event{Time: tb.Eng.Now(), Kind: trace.KindMigrationCompleted,
+			VM: inst.Name, Detail: string(inst.Approach), Value: inst.MigrationTime})
+	}
 	inst.Done.Open(tb.Eng)
 }
 
@@ -357,5 +381,7 @@ func (tb *Testbed) MigrateAll(p *sim.Proc, reqs []MigrationRequest, pol sched.Po
 			Downtime: func() float64 { return r.Inst.HVResult.Downtime },
 		}
 	}
-	return sched.New(tb.Eng, tb.Cl.Net).Run(p, jobs, pol)
+	o := sched.New(tb.Eng, tb.Cl.Net)
+	o.Trace = tb.bus
+	return o.Run(p, jobs, pol)
 }

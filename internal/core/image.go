@@ -38,6 +38,7 @@ import (
 	"github.com/hybridmig/hybridmig/internal/flow"
 	"github.com/hybridmig/hybridmig/internal/params"
 	"github.com/hybridmig/hybridmig/internal/sim"
+	"github.com/hybridmig/hybridmig/internal/trace"
 	"github.com/hybridmig/hybridmig/internal/vm"
 )
 
@@ -105,6 +106,10 @@ type Options struct {
 	// CompressBW is the CPU compression throughput charged when compression
 	// is on.
 	CompressBW float64
+	// Trace, when non-nil, receives the manager's migration phase
+	// transitions (trace.KindPhase events: "push"/"mirror"/"passive",
+	// "control-transfer", "released").
+	Trace *trace.Bus
 }
 
 // DefaultOptions returns the paper-default manager configuration for the

@@ -7,7 +7,19 @@ import (
 	"github.com/hybridmig/hybridmig/internal/fabric"
 	"github.com/hybridmig/hybridmig/internal/flow"
 	"github.com/hybridmig/hybridmig/internal/sim"
+	"github.com/hybridmig/hybridmig/internal/trace"
 )
+
+// emitPhase publishes a storage-migration phase transition to the observer
+// bus, if one is attached.
+func (im *Image) emitPhase(phase string) {
+	if !im.opts.Trace.Active() {
+		return
+	}
+	im.opts.Trace.Emit(trace.Event{
+		Time: im.eng.Now(), Kind: trace.KindPhase, VM: im.name, Detail: phase,
+	})
+}
 
 // MigrationRequest implements Algorithm 1: the manager assumes the source
 // role, queues every locally modified chunk for transfer, resets write
@@ -36,12 +48,15 @@ func (im *Image) MigrationRequest(dstNode *fabric.Node) {
 	switch im.opts.Mode {
 	case ModeHybrid:
 		im.mirrorActive = false
+		im.emitPhase("push")
 		im.startPush()
 	case ModeMirror:
 		im.mirrorActive = true
+		im.emitPhase("mirror")
 		im.startBulkCopy()
 	case ModePostcopy:
 		im.mirrorActive = false // passive push phase
+		im.emitPhase("passive")
 	}
 }
 
@@ -281,6 +296,8 @@ func (im *Image) finishMirror() {
 	im.stats.ControlAt = now
 	im.stats.ReleasedAt = now
 	im.stats.Complete = true
+	im.emitPhase("control-transfer")
+	im.emitPhase("released")
 	im.promoteDest()
 	im.state = stIdle
 	im.mirrorActive = false
@@ -290,6 +307,7 @@ func (im *Image) finishMirror() {
 // transferIOControl implements Algorithm 3's destination activation.
 func (im *Image) transferIOControl() {
 	im.stats.ControlAt = im.eng.Now()
+	im.emitPhase("control-transfer")
 	// Hints: base-image content the source had cached (hot base content).
 	var hints []chunk.Idx
 	if im.opts.BasePrefetch {
@@ -472,6 +490,7 @@ func (im *Image) maybeComplete() {
 	im.stats.Complete = true
 	im.state = stIdle
 	im.old = nil
+	im.emitPhase("released")
 	im.released.Open(im.eng)
 }
 

@@ -7,20 +7,19 @@ import (
 	"github.com/hybridmig/hybridmig/internal/core"
 	"github.com/hybridmig/hybridmig/internal/metrics"
 	"github.com/hybridmig/hybridmig/internal/params"
-	"github.com/hybridmig/hybridmig/internal/sim"
-	"github.com/hybridmig/hybridmig/internal/workload"
+	"github.com/hybridmig/hybridmig/internal/scenario"
 )
 
 // AblationRow reports one configuration of a design-choice sweep, measured
 // on the Figure 3 IOR scenario with our approach.
 type AblationRow struct {
-	Label         string
-	MigrationTime float64
-	TrafficMB     float64
-	PushedChunks  int
-	PulledChunks  int
-	SkippedHot    int
-	DedupHits     int
+	Label         string  `json:"label"`
+	MigrationTime float64 `json:"migration_s"`
+	TrafficMB     float64 `json:"traffic_mb"`
+	PushedChunks  int     `json:"pushed_chunks"`
+	PulledChunks  int     `json:"pulled_chunks"`
+	SkippedHot    int     `json:"skipped_hot"`
+	DedupHits     int     `json:"dedup_hits"`
 }
 
 // runAblation runs the IOR migration scenario with modified manager options.
@@ -33,20 +32,23 @@ func runAblation(s Scale, label string, mutate func(*core.Options), mutateSetup 
 	if mutateSetup != nil {
 		mutateSetup(&set)
 	}
-	tb := cluster.New(set.Cluster)
-	inst := launchWorkloadVM(tb, "vm0", 0, cluster.OurApproach, true)
-	w := workload.NewIOR(set.IOR)
-	tb.Eng.Go("ior", func(p *sim.Proc) { w.Run(p, inst.Guest) })
-	migrateAt(tb, inst, set.Warmup, 1)
-	run(tb, 1e6)
-	if !inst.Migrated {
+	sc := scenario.New(scenario.WithConfig(set.Cluster)).
+		AddVM(scenario.VMSpec{Name: "vm0", Node: 0, Approach: cluster.OurApproach,
+			Workload: scenario.IOR(&set.IOR)}).
+		MigrateAt("vm0", 1, set.Warmup)
+	res, err := sc.Run()
+	if err != nil {
+		panic("experiments: ablation failed: " + label + ": " + err.Error())
+	}
+	vm := res.VMs[0]
+	if !vm.Migrated {
 		panic("experiments: ablation migration incomplete: " + label)
 	}
-	st := inst.CoreStats
+	st := vm.Core
 	return AblationRow{
 		Label:         label,
-		MigrationTime: inst.MigrationTime,
-		TrafficMB:     metrics.MB(migrationTraffic(tb, cluster.OurApproach)),
+		MigrationTime: vm.MigrationTime,
+		TrafficMB:     metrics.MB(res.MigrationTraffic(cluster.OurApproach)),
 		PushedChunks:  st.PushedChunks,
 		PulledChunks:  st.PulledChunks + st.OnDemandPulls,
 		SkippedHot:    st.SkippedHot,

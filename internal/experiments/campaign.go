@@ -5,23 +5,22 @@ import (
 
 	"github.com/hybridmig/hybridmig/internal/cluster"
 	"github.com/hybridmig/hybridmig/internal/metrics"
+	"github.com/hybridmig/hybridmig/internal/scenario"
 	"github.com/hybridmig/hybridmig/internal/sched"
-	"github.com/hybridmig/hybridmig/internal/sim"
-	"github.com/hybridmig/hybridmig/internal/workload"
 )
 
 // CampaignRow is one cell of the campaign experiment: one approach migrating
 // a fleet of IOR VMs under one orchestration policy.
 type CampaignRow struct {
-	Approach cluster.Approach
-	Policy   string
-	VMs      int
+	Approach cluster.Approach `json:"approach"`
+	Policy   string           `json:"policy"`
+	VMs      int              `json:"vms"`
 
-	Makespan         float64 // first submission to last completion, seconds
-	AvgMigrationTime float64 // mean per-VM migration time, seconds
-	TotalDowntimeMS  float64 // cumulative stop-and-copy across the fleet
-	TrafficGB        float64 // bytes moved while the campaign ran
-	PeakConcurrent   int     // most migrations in flight at once
+	Makespan         float64 `json:"makespan_s"`        // first submission to last completion, seconds
+	AvgMigrationTime float64 `json:"avg_migration_s"`   // mean per-VM migration time, seconds
+	TotalDowntimeMS  float64 `json:"total_downtime_ms"` // cumulative stop-and-copy across the fleet
+	TrafficGB        float64 `json:"traffic_gb"`        // bytes moved while the campaign ran
+	PeakConcurrent   int     `json:"peak_concurrent"`   // most migrations in flight at once
 }
 
 // CampaignVMs returns the fleet size for the scale: 8 at small scale (the
@@ -97,31 +96,24 @@ func RunCampaignOne(s Scale, a cluster.Approach, pol sched.Policy) *metrics.Camp
 		// without dragging the drain-out phase.
 		ior.Iterations = 30
 	}
-	tb := cluster.New(set.Cluster)
-	insts := make([]*cluster.Instance, n)
-	reqs := make([]cluster.MigrationRequest, n)
+	sc := scenario.New(scenario.WithConfig(set.Cluster))
+	steps := make([]scenario.Step, n)
 	for i := 0; i < n; i++ {
-		i := i
-		insts[i] = launchWorkloadVM(tb, fmt.Sprintf("vm%02d", i), i, a, true)
-		w := workload.NewIOR(ior)
-		tb.Eng.Go(fmt.Sprintf("ior%02d", i), func(p *sim.Proc) { w.Run(p, insts[i].Guest) })
-		reqs[i] = cluster.MigrationRequest{Inst: insts[i], DstIdx: n + i/2}
+		name := fmt.Sprintf("vm%02d", i)
+		sc.AddVM(scenario.VMSpec{Name: name, Node: i, Approach: a, Workload: scenario.IOR(&ior)})
+		steps[i] = scenario.Step{VM: name, Dst: n + i/2}
 	}
-	var c *metrics.Campaign
-	tb.Eng.Go("orchestrator", func(p *sim.Proc) {
-		p.Sleep(set.Warmup)
-		c = tb.MigrateAll(p, reqs, pol)
-	})
-	run(tb, 1e6)
-	if c == nil {
-		panic("experiments: campaign did not complete for " + string(a) + "/" + pol.Name())
+	sc.Campaign(set.Warmup, pol, steps...)
+	r, err := sc.Run()
+	if err != nil {
+		panic("experiments: campaign did not complete for " + string(a) + "/" + pol.Name() + ": " + err.Error())
 	}
-	for i, inst := range insts {
-		if !inst.Migrated {
+	for i := range r.VMs {
+		if !r.VMs[i].Migrated {
 			panic(fmt.Sprintf("experiments: campaign migration %d incomplete for %s/%s", i, a, pol.Name()))
 		}
 	}
-	return c
+	return r.Campaigns[0]
 }
 
 // CampaignTables renders the campaign comparison, one table per metric,

@@ -4,6 +4,11 @@
 // AsyncWR VMs), Figure 5 (successive migrations under CM1), plus ablations
 // of the design choices called out in Sections 4.1 and 6.
 //
+// Every runner is a declarative scenario executed through
+// internal/scenario — the same path the public facade exposes — so the
+// golden determinism suite simultaneously pins the experiment outputs and
+// the scenario engine that produces them.
+//
 // Runs come in two scales: ScalePaper reproduces the paper's parameters
 // (4 GB images and RAM, 100-second warm-up, 30 concurrent migrations, 64
 // CM1 ranks); ScaleSmall preserves every ratio at roughly 1/16 size so the
@@ -12,126 +17,30 @@ package experiments
 
 import (
 	"github.com/hybridmig/hybridmig/internal/cluster"
-	"github.com/hybridmig/hybridmig/internal/flow"
-	"github.com/hybridmig/hybridmig/internal/params"
-	"github.com/hybridmig/hybridmig/internal/sim"
+	"github.com/hybridmig/hybridmig/internal/scenario"
 )
 
-// Scale selects the run size.
-type Scale int
+// Scale selects the run size (re-exported from internal/scenario, where the
+// per-scale defaults now live).
+type Scale = scenario.Scale
 
 // Available scales.
 const (
-	ScaleSmall Scale = iota
-	ScalePaper
+	ScaleSmall = scenario.ScaleSmall
+	ScalePaper = scenario.ScalePaper
 )
 
-func (s Scale) String() string {
-	if s == ScalePaper {
-		return "paper"
-	}
-	return "small"
-}
-
 // Setup bundles everything one experiment run needs.
-type Setup struct {
-	Scale   Scale
-	Cluster cluster.Config
-	IOR     params.IOR
-	AsyncWR params.AsyncWR
-	CM1     params.CM1
-	Warmup  float64
-	Gap     float64 // delay between successive migrations (Fig. 5)
-	// Horizon is the fixed wall-clock window for degradation measurements
-	// (Fig. 4c): computational potential is compared at this absolute time.
-	Horizon float64
-}
+type Setup = scenario.Setup
 
 // NewSetup returns the configuration for a scale and node count.
-func NewSetup(s Scale, nodes int) Setup {
-	if s == ScalePaper {
-		cfg := cluster.DefaultConfig(nodes)
-		return Setup{
-			Scale:   s,
-			Cluster: cfg,
-			IOR:     params.DefaultIOR(),
-			AsyncWR: params.DefaultAsyncWR(),
-			CM1:     defaultCM1(),
-			Warmup:  cfg.Experiment.WarmupDelay,
-			Gap:     cfg.Experiment.SuccessiveGap,
-			Horizon: 180,
-		}
-	}
-	cfg := cluster.SmallConfig(nodes)
-	return Setup{
-		Scale:   s,
-		Cluster: cfg,
-		IOR:     params.IOR{Iterations: 40, FileSize: 64 * params.MB, BlockSize: 256 * params.KB},
-		AsyncWR: params.AsyncWR{
-			Iterations:      90,
-			DataPerIter:     2 * params.MB,
-			ComputeTime:     0.35,
-			MemoryDirtyRate: 8 * params.MB,
-			WorkingSet:      16 * params.MB,
-		},
-		CM1: params.CM1{
-			Procs: 16, GridX: 4, GridY: 4,
-			Intervals:       8,
-			ComputePerIntvl: 6,
-			OutputSize:      12 * params.MB,
-			HaloBytes:       1 * params.MB,
-			MemoryDirtyRate: 10 * params.MB,
-			WorkingSet:      48 * params.MB,
-		},
-		Warmup:  8,
-		Gap:     8,
-		Horizon: 20,
-	}
-}
+func NewSetup(s Scale, nodes int) Setup { return scenario.NewSetup(s, nodes) }
 
-// defaultCM1 adapts params.DefaultCM1 for convergence realism (see
-// DESIGN.md: the stencil dirty rate must sit below the NIC rate or no
-// pre-copy implementation can ever converge).
-func defaultCM1() params.CM1 {
-	p := params.DefaultCM1()
-	p.Intervals = 12
-	p.MemoryDirtyRate = 60 * params.MB
-	return p
-}
-
-// run drives an assembled testbed until the event queue drains or the
-// hard cap is hit, then releases all processes.
-func run(tb *cluster.Testbed, until float64) {
-	if err := tb.Eng.RunUntil(until); err != nil {
-		panic(err)
-	}
-	tb.Eng.Shutdown()
-}
-
-// migrationTraffic implements the paper's Section 5.2 traffic attribution:
-// for local-storage approaches, all memory and storage transfer bytes (plus
-// repository prefetch); for pvfs-shared, memory plus every byte of PFS I/O
-// over the VM lifetime.
-func migrationTraffic(tb *cluster.Testbed, approach cluster.Approach) float64 {
-	net := tb.Cl.Net
-	if approach == cluster.PVFSShared {
-		return net.BytesByTag(flow.TagMemory) + net.BytesByTag(flow.TagPFS)
-	}
-	t := net.BytesByTag(flow.TagMemory) +
-		net.BytesByTag(flow.TagStoragePush) +
-		net.BytesByTag(flow.TagStoragePull) +
-		net.BytesByTag(flow.TagBlockMig) +
-		net.BytesByTag(flow.TagMirror)
-	for _, inst := range tb.Instances() {
-		t += inst.CoreStats.PrefetchBytes
-	}
-	return t
-}
-
-// Table1Row is one line of the paper's Table 1.
+// Table1Row is one line of the paper's Table 1. Row structs carry stable
+// snake_case JSON tags: cmd/paperrepro -json emits them verbatim.
 type Table1Row struct {
-	Approach cluster.Approach
-	Strategy string
+	Approach cluster.Approach `json:"approach"`
+	Strategy string           `json:"strategy"`
 }
 
 // RunTable1 reproduces Table 1 (a static summary, kept as a runner so every
@@ -142,22 +51,4 @@ func RunTable1() []Table1Row {
 		rows = append(rows, Table1Row{Approach: a, Strategy: a.Description()})
 	}
 	return rows
-}
-
-// launchWorkloadVM deploys one instance and marks IOR guests unbuffered
-// (IOR runs O_DIRECT in the guest; see workload.IOR).
-func launchWorkloadVM(tb *cluster.Testbed, name string, node int, a cluster.Approach, ior bool) *cluster.Instance {
-	inst := tb.Launch(name, node, a)
-	if ior {
-		inst.Guest.Buffered = false
-	}
-	return inst
-}
-
-// migrateAt schedules a migration of inst at the given time.
-func migrateAt(tb *cluster.Testbed, inst *cluster.Instance, at float64, dstIdx int) {
-	tb.Eng.Go("middleware/"+inst.Name, func(p *sim.Proc) {
-		p.Sleep(at)
-		tb.MigrateInstance(p, inst, dstIdx)
-	})
 }

@@ -3,23 +3,22 @@ package experiments
 import (
 	"github.com/hybridmig/hybridmig/internal/cluster"
 	"github.com/hybridmig/hybridmig/internal/metrics"
-	"github.com/hybridmig/hybridmig/internal/sim"
-	"github.com/hybridmig/hybridmig/internal/workload"
+	"github.com/hybridmig/hybridmig/internal/scenario"
 )
 
 // Fig3Row is one bar group of Figures 3(a)-(c): one approach under one
 // benchmark.
 type Fig3Row struct {
-	Approach cluster.Approach
-	Bench    string // "IOR" or "AsyncWR"
+	Approach cluster.Approach `json:"approach"`
+	Bench    string           `json:"bench"` // "IOR" or "AsyncWR"
 
-	MigrationTime float64 // Fig. 3(a), seconds
-	TrafficMB     float64 // Fig. 3(b)
+	MigrationTime float64 `json:"migration_s"` // Fig. 3(a), seconds
+	TrafficMB     float64 `json:"traffic_mb"`  // Fig. 3(b)
 
 	// Fig. 3(c): average achieved throughput normalized to the maximal
 	// no-migration values (1 GB/s read, 266 MB/s write, 6 MB/s AsyncWR).
-	NormReadPct  float64 // IOR only
-	NormWritePct float64
+	NormReadPct  float64 `json:"norm_read_pct"` // IOR only
+	NormWritePct float64 `json:"norm_write_pct"`
 }
 
 // Fig3Benches lists the benchmarks of Section 5.3.
@@ -44,41 +43,40 @@ func RunFig3One(s Scale, a cluster.Approach, bench string) Fig3Row {
 
 func runFig3One(s Scale, a cluster.Approach, bench string) Fig3Row {
 	set := NewSetup(s, 10)
-	tb := cluster.New(set.Cluster)
-	inst := launchWorkloadVM(tb, "vm0", 0, a, bench == "IOR")
-
-	var ior *workload.IOR
-	var awr *workload.AsyncWR
+	var wl scenario.WorkloadSpec
 	switch bench {
 	case "IOR":
-		ior = workload.NewIOR(set.IOR)
-		tb.Eng.Go("ior", func(p *sim.Proc) { ior.Run(p, inst.Guest) })
+		wl = scenario.IOR(&set.IOR)
 	case "AsyncWR":
-		awr = workload.NewAsyncWR(set.AsyncWR)
-		tb.Eng.Go("asyncwr", func(p *sim.Proc) { awr.Run(p, inst.Guest) })
+		wl = scenario.AsyncWR(&set.AsyncWR, 0)
 	default:
 		panic("experiments: unknown benchmark " + bench)
 	}
-	migrateAt(tb, inst, set.Warmup, 1)
-	run(tb, 1e6)
-
-	if !inst.Migrated {
+	sc := scenario.New(scenario.WithConfig(set.Cluster)).
+		AddVM(scenario.VMSpec{Name: "vm0", Node: 0, Approach: a, Workload: wl}).
+		MigrateAt("vm0", 1, set.Warmup)
+	res, err := sc.Run()
+	if err != nil {
+		panic("experiments: fig3 " + string(a) + "/" + bench + ": " + err.Error())
+	}
+	vm := res.VMs[0]
+	if !vm.Migrated {
 		panic("experiments: fig3 migration did not complete for " + string(a))
 	}
 	row := Fig3Row{
 		Approach:      a,
 		Bench:         bench,
-		MigrationTime: inst.MigrationTime,
-		TrafficMB:     metrics.MB(migrationTraffic(tb, a)),
+		MigrationTime: vm.MigrationTime,
+		TrafficMB:     metrics.MB(res.MigrationTraffic(a)),
 	}
 	g := set.Cluster.Guest
 	switch bench {
 	case "IOR":
-		row.NormReadPct = metrics.Pct(metrics.Ratio(ior.Report.ReadBW(), g.CacheReadBandwidth))
-		row.NormWritePct = metrics.Pct(metrics.Ratio(ior.Report.WriteBW(), g.CacheWriteBandwidth))
+		row.NormReadPct = metrics.Pct(metrics.Ratio(vm.Workload.ReadBW(), g.CacheReadBandwidth))
+		row.NormWritePct = metrics.Pct(metrics.Ratio(vm.Workload.WriteBW(), g.CacheWriteBandwidth))
 	case "AsyncWR":
 		nominal := float64(set.AsyncWR.DataPerIter) / set.AsyncWR.ComputeTime
-		row.NormWritePct = metrics.Pct(metrics.Ratio(awr.Report.WriteBW(), nominal))
+		row.NormWritePct = metrics.Pct(metrics.Ratio(vm.Workload.WriteBW(), nominal))
 	}
 	return row
 }

@@ -5,19 +5,18 @@ import (
 
 	"github.com/hybridmig/hybridmig/internal/cluster"
 	"github.com/hybridmig/hybridmig/internal/metrics"
-	"github.com/hybridmig/hybridmig/internal/sim"
-	"github.com/hybridmig/hybridmig/internal/workload"
+	"github.com/hybridmig/hybridmig/internal/scenario"
 )
 
 // Fig4Row is one point of Figures 4(a)-(c): one approach at one concurrency
 // level.
 type Fig4Row struct {
-	Approach    cluster.Approach
-	Concurrency int
+	Approach    cluster.Approach `json:"approach"`
+	Concurrency int              `json:"concurrency"`
 
-	AvgMigrationTime float64 // Fig. 4(a), seconds per instance
-	TrafficGB        float64 // Fig. 4(b)
-	DegradationPct   float64 // Fig. 4(c), % of migration-free potential
+	AvgMigrationTime float64 `json:"avg_migration_s"` // Fig. 4(a), seconds per instance
+	TrafficGB        float64 `json:"traffic_gb"`      // Fig. 4(b)
+	DegradationPct   float64 `json:"degradation_pct"` // Fig. 4(c), % of migration-free potential
 }
 
 // Fig4Concurrencies returns the x-axis of Figure 4 for the scale.
@@ -76,40 +75,35 @@ type fig4Result struct {
 func runFig4One(s Scale, a cluster.Approach, concurrent int) fig4Result {
 	sources := fig4Sources(s)
 	set := NewSetup(s, 2*sources)
-	tb := cluster.New(set.Cluster)
-
-	insts := make([]*cluster.Instance, sources)
-	loads := make([]*workload.AsyncWR, sources)
+	sc := scenario.New(scenario.WithConfig(set.Cluster))
 	for i := 0; i < sources; i++ {
-		i := i
-		insts[i] = launchWorkloadVM(tb, fmt.Sprintf("vm%02d", i), i, a, false)
-		loads[i] = workload.NewAsyncWR(set.AsyncWR)
-		loads[i].Deadline = set.Warmup + set.Horizon
-		tb.Eng.Go(fmt.Sprintf("asyncwr%02d", i), func(p *sim.Proc) {
-			loads[i].Run(p, insts[i].Guest)
+		sc.AddVM(scenario.VMSpec{
+			Name: fmt.Sprintf("vm%02d", i), Node: i, Approach: a,
+			Workload: scenario.AsyncWR(&set.AsyncWR, set.Warmup+set.Horizon),
 		})
 	}
 	// Simultaneous migrations of the first K instances to distinct targets.
 	for k := 0; k < concurrent; k++ {
-		migrateAt(tb, insts[k], set.Warmup, sources+k)
+		sc.MigrateAt(fmt.Sprintf("vm%02d", k), sources+k, set.Warmup)
 	}
-	run(tb, 1e6)
+	r, err := sc.Run()
+	if err != nil {
+		panic(fmt.Sprintf("experiments: fig4 %s n=%d: %v", a, concurrent, err))
+	}
 
 	res := fig4Result{Fig4Row: Fig4Row{Approach: a, Concurrency: concurrent}}
 	var sumMig float64
 	for k := 0; k < concurrent; k++ {
-		if !insts[k].Migrated {
+		if !r.VMs[k].Migrated {
 			panic(fmt.Sprintf("experiments: fig4 migration %d incomplete for %s", k, a))
 		}
-		sumMig += insts[k].MigrationTime
+		sumMig += r.VMs[k].MigrationTime
 	}
 	if concurrent > 0 {
 		res.AvgMigrationTime = sumMig / float64(concurrent)
 	}
-	res.TrafficGB = metrics.GB(migrationTraffic(tb, a))
-	for _, w := range loads {
-		res.counter += float64(w.Report.Counter)
-	}
+	res.TrafficGB = metrics.GB(r.MigrationTraffic(a))
+	res.counter = r.TotalCounter()
 	return res
 }
 

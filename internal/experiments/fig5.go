@@ -4,21 +4,19 @@ import (
 	"fmt"
 
 	"github.com/hybridmig/hybridmig/internal/cluster"
-	"github.com/hybridmig/hybridmig/internal/guest"
 	"github.com/hybridmig/hybridmig/internal/metrics"
-	"github.com/hybridmig/hybridmig/internal/sim"
-	"github.com/hybridmig/hybridmig/internal/workload"
+	"github.com/hybridmig/hybridmig/internal/scenario"
 )
 
 // Fig5Row is one point of Figures 5(a)-(c): one approach at one number of
 // successive migrations under the CM1 application.
 type Fig5Row struct {
-	Approach   cluster.Approach
-	Migrations int
+	Approach   cluster.Approach `json:"approach"`
+	Migrations int              `json:"migrations"`
 
-	CumulMigrationTime float64 // Fig. 5(a), summed over all migrations (s)
-	TrafficGB          float64 // Fig. 5(b), CM1 communication excluded
-	RuntimeIncrease    float64 // Fig. 5(c), vs the migration-free run (s)
+	CumulMigrationTime float64 `json:"cumul_migration_s"`  // Fig. 5(a), summed over all migrations (s)
+	TrafficGB          float64 `json:"traffic_gb"`         // Fig. 5(b), CM1 communication excluded
+	RuntimeIncrease    float64 `json:"runtime_increase_s"` // Fig. 5(c), vs the migration-free run (s)
 }
 
 // Fig5Migrations returns the x-axis of Figure 5 for the scale.
@@ -58,41 +56,35 @@ func runFig5One(s Scale, a cluster.Approach, migrations int) fig5Result {
 	ranks := set.CM1.Procs
 	maxMig := Fig5Migrations(s)[len(Fig5Migrations(s))-1]
 	set.Cluster.Nodes = ranks + maxMig
-	tb := cluster.New(set.Cluster)
 
-	cm1 := workload.NewCM1(set.CM1, tb.Cl)
-	insts := make([]*cluster.Instance, ranks)
-	guests := make([]*guest.Guest, ranks)
+	sc := scenario.New(scenario.WithConfig(set.Cluster),
+		scenario.WithCM1(set.CM1), scenario.WithHorizon(1e7))
 	for i := 0; i < ranks; i++ {
-		insts[i] = launchWorkloadVM(tb, fmt.Sprintf("rank%02d", i), i, a, false)
-		guests[i] = insts[i].Guest
-	}
-	for i := 0; i < ranks; i++ {
-		i := i
-		tb.Eng.Go(fmt.Sprintf("cm1rank%02d", i), func(p *sim.Proc) {
-			cm1.Rank(p, i, guests[i], guests)
-		})
+		sc.AddVM(scenario.VMSpec{Name: fmt.Sprintf("rank%02d", i), Node: i, Approach: a})
 	}
 	// Successive migrations: source k moves after (k+1) gaps.
 	for k := 0; k < migrations; k++ {
-		migrateAt(tb, insts[k], set.Gap*float64(k+1), ranks+k)
+		sc.MigrateAt(fmt.Sprintf("rank%02d", k), ranks+k, set.Gap*float64(k+1))
 	}
-	run(tb, 1e7)
+	r, err := sc.Run()
+	if err != nil {
+		panic(fmt.Sprintf("experiments: fig5 %s m=%d: %v", a, migrations, err))
+	}
 
 	res := fig5Result{Fig5Row: Fig5Row{Approach: a, Migrations: migrations}}
 	for k := 0; k < migrations; k++ {
-		if !insts[k].Migrated {
+		if !r.VMs[k].Migrated {
 			panic(fmt.Sprintf("experiments: fig5 migration %d incomplete for %s", k, a))
 		}
-		res.CumulMigrationTime += insts[k].MigrationTime
+		res.CumulMigrationTime += r.VMs[k].MigrationTime
 	}
-	res.runtime = cm1.Report.Runtime
-	if cm1.Report.Intervals != set.CM1.Intervals {
+	res.runtime = r.CM1.Runtime
+	if r.CM1.Intervals != set.CM1.Intervals {
 		panic("experiments: CM1 did not finish")
 	}
-	// Fig. 5(b) excludes application communication: migrationTraffic never
+	// Fig. 5(b) excludes application communication: MigrationTraffic never
 	// counts flow.TagApp, which is exactly the paper's subtraction.
-	res.TrafficGB = metrics.GB(migrationTraffic(tb, a))
+	res.TrafficGB = metrics.GB(r.MigrationTraffic(a))
 	return res
 }
 

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/hybridmig/hybridmig/internal/cluster"
+	"github.com/hybridmig/hybridmig/internal/metrics"
+	"github.com/hybridmig/hybridmig/internal/scenario"
+)
+
+// TestScenarioReproducesGoldenFig3Cells proves the declarative scenario path
+// reproduces the captured hex-float seed values BIT FOR BIT: for every
+// (approach, IOR) cell of Figure 3, a scenario assembled directly through
+// the public-facing API (no experiment harness involved) must yield exactly
+// the mig= and traffic= hex floats recorded in testdata/golden_small.txt —
+// a capture that predates the scenario layer entirely.
+func TestScenarioReproducesGoldenFig3Cells(t *testing.T) {
+	want := goldenFig3Cells(t, "IOR")
+	for _, a := range cluster.Approaches() {
+		cell, ok := want[string(a)]
+		if !ok {
+			t.Fatalf("golden file has no fig3 %s/IOR cell", a)
+		}
+		set := scenario.NewSetup(scenario.ScaleSmall, 10)
+		sc := scenario.New(scenario.WithConfig(set.Cluster)).
+			AddVM(scenario.VMSpec{Name: "vm0", Node: 0, Approach: a,
+				Workload: scenario.IOR(&set.IOR)}).
+			MigrateAt("vm0", 1, set.Warmup)
+		res, err := sc.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		gotMig := fmt.Sprintf("%x", res.VMs[0].MigrationTime)
+		gotTraffic := fmt.Sprintf("%x", metrics.MB(res.MigrationTraffic(a)))
+		if gotMig != cell.mig {
+			t.Errorf("%s: migration time %s != golden %s (bit-for-bit)", a, gotMig, cell.mig)
+		}
+		if gotTraffic != cell.traffic {
+			t.Errorf("%s: traffic %s != golden %s (bit-for-bit)", a, gotTraffic, cell.traffic)
+		}
+	}
+}
+
+type fig3Cell struct{ mig, traffic string }
+
+// goldenFig3Cells parses the "== fig3 ==" section of the small-scale golden
+// capture into approach -> hex-float cell values for the given bench.
+func goldenFig3Cells(t *testing.T, bench string) map[string]fig3Cell {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", "golden_small.txt"))
+	if err != nil {
+		t.Fatalf("golden capture missing: %v", err)
+	}
+	cells := map[string]fig3Cell{}
+	in := false
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, "== ") {
+			in = line == "== fig3 =="
+			continue
+		}
+		if !in || line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		name, wantBench, ok := strings.Cut(fields[0], "/")
+		if !ok || wantBench != bench {
+			continue
+		}
+		var cell fig3Cell
+		for _, f := range fields[1:] {
+			if v, found := strings.CutPrefix(f, "mig="); found {
+				cell.mig = v
+			}
+			if v, found := strings.CutPrefix(f, "traffic="); found {
+				cell.traffic = v
+			}
+		}
+		// Sanity: the captured values must be parseable hex floats.
+		if _, err := strconv.ParseFloat(cell.mig, 64); err != nil {
+			t.Fatalf("unparseable golden mig %q: %v", cell.mig, err)
+		}
+		cells[name] = cell
+	}
+	return cells
+}

@@ -19,6 +19,7 @@ import (
 	"github.com/hybridmig/hybridmig/internal/flow"
 	"github.com/hybridmig/hybridmig/internal/params"
 	"github.com/hybridmig/hybridmig/internal/sim"
+	"github.com/hybridmig/hybridmig/internal/trace"
 	"github.com/hybridmig/hybridmig/internal/vm"
 )
 
@@ -57,6 +58,13 @@ type Result struct {
 // completes, so the hypervisor idles in extra rounds instead of freezing the
 // guest (Haselhorst et al.'s full-synchronization-before-control rule).
 func Migrate(p *sim.Proc, cl *fabric.Cluster, v *vm.VM, dst *fabric.Node, hp params.Hypervisor, bm BlockMigrator, stopGate *sim.Gate) Result {
+	return MigrateTraced(p, cl, v, dst, hp, bm, stopGate, nil)
+}
+
+// MigrateTraced is Migrate with an observer bus: the start of every pre-copy
+// round is published as a trace.KindRound event (round number and payload
+// bytes). A nil bus is valid and traces nothing.
+func MigrateTraced(p *sim.Proc, cl *fabric.Cluster, v *vm.VM, dst *fabric.Node, hp params.Hypervisor, bm BlockMigrator, stopGate *sim.Gate, bus *trace.Bus) Result {
 	eng := cl.Eng
 	src := v.Node
 	res := Result{Requested: eng.Now()}
@@ -91,6 +99,10 @@ func Migrate(p *sim.Proc, cl *fabric.Cluster, v *vm.VM, dst *fabric.Node, hp par
 	rate := hp.MigrationSpeed // estimate until measured
 	for round := 0; ; round++ {
 		res.Rounds = round + 1
+		if bus.Active() {
+			bus.Emit(trace.Event{Time: eng.Now(), Kind: trace.KindRound, VM: v.Name,
+				Round: round, Value: memPayload + blkPayload})
+		}
 		dur := transfer(blkPayload, flow.TagBlockMig)
 		dur += transfer(memPayload, flow.TagMemory)
 		res.MemoryBytes += memPayload

@@ -1,0 +1,68 @@
+package metrics
+
+import "encoding/json"
+
+// JSON shapes for the campaign records: stable snake_case keys plus the
+// derived aggregates (makespan, per-job wait/duration) that consumers of the
+// text tables read off the rendered output. Marshal-only — the derived
+// fields make unmarshal lossy, and nothing in the repo reads campaigns back.
+
+// MarshalJSON renders the job record with its derived wait and duration.
+func (j JobStat) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Name       string  `json:"name"`
+		QueuedS    float64 `json:"queued_s"`
+		StartedS   float64 `json:"started_s"`
+		FinishedS  float64 `json:"finished_s"`
+		WaitS      float64 `json:"wait_s"`
+		DurationS  float64 `json:"duration_s"`
+		DowntimeMS float64 `json:"downtime_ms"`
+	}{
+		Name:       j.Name,
+		QueuedS:    j.Queued,
+		StartedS:   j.Started,
+		FinishedS:  j.Finished,
+		WaitS:      j.Wait(),
+		DurationS:  j.Duration(),
+		DowntimeMS: j.Downtime * 1000,
+	})
+}
+
+// MarshalJSON renders one tag's byte attribution.
+func (t TagBytes) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Tag   string  `json:"tag"`
+		Bytes float64 `json:"bytes"`
+	}{Tag: t.Tag, Bytes: t.Bytes})
+}
+
+// MarshalJSON renders the campaign with its derived aggregates.
+func (c *Campaign) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Policy           string     `json:"policy"`
+		Jobs             int        `json:"jobs"`
+		StartS           float64    `json:"start_s"`
+		EndS             float64    `json:"end_s"`
+		MakespanS        float64    `json:"makespan_s"`
+		AvgMigrationS    float64    `json:"avg_migration_s"`
+		TotalDowntimeMS  float64    `json:"total_downtime_ms"`
+		PeakConcurrent   int        `json:"peak_concurrent"`
+		PeakFlows        int        `json:"peak_flows"`
+		TransferredBytes float64    `json:"transferred_bytes"`
+		Traffic          []TagBytes `json:"traffic,omitempty"`
+		JobStats         []JobStat  `json:"job_stats"`
+	}{
+		Policy:           c.Policy,
+		Jobs:             c.Jobs,
+		StartS:           c.Start,
+		EndS:             c.End,
+		MakespanS:        c.Makespan(),
+		AvgMigrationS:    c.AvgMigrationTime(),
+		TotalDowntimeMS:  c.TotalDowntime * 1000,
+		PeakConcurrent:   c.PeakConcurrent,
+		PeakFlows:        c.PeakFlows,
+		TransferredBytes: c.TransferredBytes,
+		Traffic:          c.Traffic,
+		JobStats:         c.JobStats,
+	})
+}

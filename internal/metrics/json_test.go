@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCampaignJSON(t *testing.T) {
+	c := &Campaign{
+		Policy: "batched-2",
+		Jobs:   2,
+		Start:  10,
+		End:    30,
+
+		TotalDowntime:    0.05,
+		PeakConcurrent:   2,
+		PeakFlows:        7,
+		TransferredBytes: 1 << 30,
+		Traffic:          []TagBytes{{Tag: "memory", Bytes: 1 << 29}},
+		JobStats: []JobStat{
+			{Name: "vm0", Queued: 10, Started: 10, Finished: 22, Downtime: 0.03},
+			{Name: "vm1", Queued: 10, Started: 12, Finished: 30, Downtime: 0.02},
+		},
+	}
+	raw, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("output not valid JSON: %v", err)
+	}
+	if got["policy"] != "batched-2" {
+		t.Errorf("policy = %v", got["policy"])
+	}
+	if got["makespan_s"] != 20.0 {
+		t.Errorf("makespan_s = %v, want 20 (derived field missing?)", got["makespan_s"])
+	}
+	if got["avg_migration_s"] != 15.0 {
+		t.Errorf("avg_migration_s = %v, want 15", got["avg_migration_s"])
+	}
+	if got["total_downtime_ms"] != 50.0 {
+		t.Errorf("total_downtime_ms = %v, want 50", got["total_downtime_ms"])
+	}
+	jobs, ok := got["job_stats"].([]any)
+	if !ok || len(jobs) != 2 {
+		t.Fatalf("job_stats = %v", got["job_stats"])
+	}
+	j0 := jobs[0].(map[string]any)
+	if j0["wait_s"] != 0.0 || j0["duration_s"] != 12.0 || j0["downtime_ms"] != 30.0 {
+		t.Errorf("job 0 derived fields wrong: %v", j0)
+	}
+	traffic := got["traffic"].([]any)[0].(map[string]any)
+	if traffic["tag"] != "memory" {
+		t.Errorf("traffic tag = %v", traffic["tag"])
+	}
+	// Keys are stable snake_case: a rename would break downstream parsers.
+	for _, key := range []string{"policy", "jobs", "makespan_s", "peak_concurrent", "transferred_bytes"} {
+		if !strings.Contains(string(raw), `"`+key+`"`) {
+			t.Errorf("key %q missing from %s", key, raw)
+		}
+	}
+}

@@ -227,6 +227,30 @@ func DefaultAsyncWR() AsyncWR {
 	}
 }
 
+// Rewrite holds the configuration of the hot/cold rewrite workload: a file
+// whose leading HotBytes are rewritten every iteration (chunks the
+// write-count threshold defers) followed by one pass over the rest (chunks
+// the push phase drains), with a think pause between iterations. It is not a
+// paper benchmark — it is the minimal workload that exercises every branch of
+// the hybrid scheme, which is why the quickstart scenario uses it.
+type Rewrite struct {
+	FileSize   int64
+	HotBytes   int64 // leading region rewritten every iteration
+	Iterations int
+	Interval   float64 // think time between iterations, seconds
+}
+
+// DefaultRewrite returns a small-scale rewrite configuration (64 MB file,
+// 32 MB hot region) suitable for SmallConfig testbeds.
+func DefaultRewrite() Rewrite {
+	return Rewrite{
+		FileSize:   64 * MB,
+		HotBytes:   32 * MB,
+		Iterations: 16,
+		Interval:   0.5,
+	}
+}
+
 // CM1 holds the CM1 application configuration from Section 5.5.
 type CM1 struct {
 	Procs           int     // 64 MPI ranks (8x8 grid)

@@ -1,0 +1,222 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/hybridmig/hybridmig/internal/cluster"
+	"github.com/hybridmig/hybridmig/internal/core"
+	"github.com/hybridmig/hybridmig/internal/flow"
+	"github.com/hybridmig/hybridmig/internal/metrics"
+	"github.com/hybridmig/hybridmig/internal/workload"
+)
+
+// WorkloadResult carries a VM workload's counters in one flat record.
+// Kind-specific quantities are zero for workloads that do not measure them.
+type WorkloadResult struct {
+	Kind       WorkloadKind
+	Iterations int
+	Counter    int64 // AsyncWR computational potential
+	ReadBytes  float64
+	ReadTime   float64
+	WriteBytes float64
+	WriteTime  float64
+	Runtime    float64
+}
+
+// ReadBW returns the average achieved read bandwidth in bytes/s.
+func (w WorkloadResult) ReadBW() float64 {
+	if w.ReadTime <= 0 {
+		return 0
+	}
+	return w.ReadBytes / w.ReadTime
+}
+
+// WriteBW returns the average achieved write bandwidth in bytes/s: over the
+// measured write time when the workload tracks it (IOR), else over the whole
+// run (AsyncWR's sustained write pressure).
+func (w WorkloadResult) WriteBW() float64 {
+	if w.WriteTime > 0 {
+		return w.WriteBytes / w.WriteTime
+	}
+	if w.Runtime > 0 {
+		return w.WriteBytes / w.Runtime
+	}
+	return 0
+}
+
+// VMResult is one VM's outcome: where it ended up, what its migration cost,
+// and what its workload achieved.
+type VMResult struct {
+	Name     string
+	Approach cluster.Approach
+	Node     int // final node index
+	Migrated bool
+
+	// Migration measurements (zero when the VM never migrated).
+	MigrationTime float64
+	Downtime      float64 // stop-and-copy duration
+	Rounds        int     // hypervisor pre-copy rounds
+	Converged     bool
+	MemoryBytes   float64 // memory payload moved
+	BlockBytes    float64 // block-migration payload (precopy baseline)
+	Core          core.Stats
+
+	Workload WorkloadResult
+}
+
+// Result is what Scenario.Run returns: per-VM outcomes, campaign aggregates,
+// the CM1 application report when WithCM1 was used, and per-tag network byte
+// totals at drain time.
+type Result struct {
+	// Clock is the virtual time at which the simulation drained.
+	Clock float64
+	VMs   []VMResult
+	// Campaigns holds one aggregate per Campaign declaration, in order.
+	Campaigns []*metrics.Campaign
+	// CM1 is the application report when the scenario ran under WithCM1.
+	CM1 *workload.CM1Report
+	// Traffic maps flow tag names (see internal/flow) to total bytes moved
+	// over the run.
+	Traffic map[string]float64
+	// SeedCapture is the hex-float determinism capture (WithSeedCapture).
+	SeedCapture string
+	// Config is the resolved cluster configuration the run used.
+	Config cluster.Config
+}
+
+// VM returns the named VM's result, or nil.
+func (r *Result) VM(name string) *VMResult {
+	for i := range r.VMs {
+		if r.VMs[i].Name == name {
+			return &r.VMs[i]
+		}
+	}
+	return nil
+}
+
+// MigrationTraffic implements the paper's Section 5.2 traffic attribution
+// for the given approach: for local-storage approaches, all memory and
+// storage transfer bytes plus repository prefetch; for pvfs-shared, memory
+// plus every byte of PFS I/O over the VM lifetime.
+func (r *Result) MigrationTraffic(a cluster.Approach) float64 {
+	if a == cluster.PVFSShared {
+		return r.Traffic[flow.TagMemory.String()] + r.Traffic[flow.TagPFS.String()]
+	}
+	t := r.Traffic[flow.TagMemory.String()] +
+		r.Traffic[flow.TagStoragePush.String()] +
+		r.Traffic[flow.TagStoragePull.String()] +
+		r.Traffic[flow.TagBlockMig.String()] +
+		r.Traffic[flow.TagMirror.String()]
+	for i := range r.VMs {
+		t += r.VMs[i].Core.PrefetchBytes
+	}
+	return t
+}
+
+// TotalCounter sums every VM's computational-potential counter (Fig. 4's
+// degradation numerator).
+func (r *Result) TotalCounter() float64 {
+	var c float64
+	for i := range r.VMs {
+		c += float64(r.VMs[i].Workload.Counter)
+	}
+	return c
+}
+
+// collect assembles the Result after the simulation has drained.
+func (s *Scenario) collect(tb *cluster.Testbed, insts []*cluster.Instance, runners []runner, cm1 *workload.CM1, campaigns []*metrics.Campaign) *Result {
+	res := &Result{
+		Clock:     tb.Eng.Now(),
+		VMs:       make([]VMResult, len(insts)),
+		Campaigns: campaigns,
+		Traffic:   make(map[string]float64, flow.NumTags),
+		Config:    tb.Cfg,
+	}
+	for _, t := range flow.Tags() {
+		res.Traffic[t.String()] = tb.Cl.Net.BytesByTag(t)
+	}
+	if cm1 != nil {
+		rep := cm1.Report
+		res.CM1 = &rep
+	}
+	for i, inst := range insts {
+		vr := &res.VMs[i]
+		vr.Name = inst.Name
+		vr.Approach = inst.Approach
+		vr.Node = inst.VM.Node.ID
+		vr.Migrated = inst.Migrated
+		vr.MigrationTime = inst.MigrationTime
+		vr.Downtime = inst.HVResult.Downtime
+		vr.Rounds = inst.HVResult.Rounds
+		vr.Converged = inst.HVResult.Converged
+		vr.MemoryBytes = inst.HVResult.MemoryBytes
+		vr.BlockBytes = inst.HVResult.BlockBytes
+		vr.Core = inst.CoreStats
+		vr.Workload = runners[i].result()
+	}
+	if s.opt.seedCapture {
+		res.SeedCapture = res.capture()
+	}
+	return res
+}
+
+// result flattens the live workload's report.
+func (r runner) result() WorkloadResult {
+	w := WorkloadResult{Kind: r.kind}
+	switch {
+	case r.ior != nil:
+		rep := r.ior.Report
+		w.Iterations = rep.Iterations
+		w.ReadBytes, w.ReadTime = rep.ReadBytes, rep.ReadTime
+		w.WriteBytes, w.WriteTime = rep.WriteBytes, rep.WriteTime
+		w.Runtime = rep.Runtime
+	case r.awr != nil:
+		rep := r.awr.Report
+		w.Iterations = rep.Iterations
+		w.Counter = rep.Counter
+		w.WriteBytes = rep.WriteBytes
+		w.Runtime = rep.Runtime
+	case r.rw != nil:
+		rep := r.rw.Report
+		w.Iterations = rep.Iterations
+		w.WriteBytes = rep.WriteBytes
+		w.Runtime = rep.Runtime
+	}
+	return w
+}
+
+// capture renders the hex-float determinism capture: every float64 with %x
+// so any change to event ordering, rate allocation, or byte accounting is
+// visible down to the last mantissa bit.
+func (r *Result) capture() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario clock=%x vms=%d\n", r.Clock, len(r.VMs))
+	for i := range r.VMs {
+		v := &r.VMs[i]
+		fmt.Fprintf(&b, "vm %s approach=%s node=%d migrated=%t mig=%x down=%x rounds=%d mem=%x blk=%x\n",
+			v.Name, v.Approach, v.Node, v.Migrated, v.MigrationTime, v.Downtime, v.Rounds, v.MemoryBytes, v.BlockBytes)
+		fmt.Fprintf(&b, "vm %s core pushed=%x pulled=%x ondemand=%x prefetch=%x mirrored=%x repo=%x hot=%d\n",
+			v.Name, v.Core.PushedBytes, v.Core.PulledBytes, v.Core.OnDemandBytes,
+			v.Core.PrefetchBytes, v.Core.MirroredBytes, v.Core.RepoReadBytes, v.Core.SkippedHot)
+		fmt.Fprintf(&b, "vm %s workload kind=%s iters=%d counter=%d read=%x write=%x runtime=%x\n",
+			v.Name, v.Workload.Kind, v.Workload.Iterations, v.Workload.Counter,
+			v.Workload.ReadBytes, v.Workload.WriteBytes, v.Workload.Runtime)
+	}
+	for ci, c := range r.Campaigns {
+		if c == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "campaign %d policy=%s jobs=%d makespan=%x downtime=%x moved=%x peak=%d\n",
+			ci, c.Policy, c.Jobs, c.Makespan(), c.TotalDowntime, c.TransferredBytes, c.PeakConcurrent)
+	}
+	for _, t := range flow.Tags() {
+		if v := r.Traffic[t.String()]; v > 0 {
+			fmt.Fprintf(&b, "traffic %s bytes=%x\n", t, v)
+		}
+	}
+	if r.CM1 != nil {
+		fmt.Fprintf(&b, "cm1 runtime=%x intervals=%d\n", r.CM1.Runtime, r.CM1.Intervals)
+	}
+	return b.String()
+}

@@ -1,0 +1,517 @@
+// Package scenario is the declarative session layer of the reproduction:
+// callers describe a testbed, a set of VMs with workloads, and a migration
+// plan — per-VM trigger times or an orchestrated campaign under an admission
+// policy — then call Run, which assembles everything, drives the simulation
+// until it drains, and returns a typed Result (per-VM migration and downtime
+// stats, campaign aggregates, workload counters, per-tag traffic) and a real
+// error instead of panicking.
+//
+// The package exists so the public facade (package hybridmig) and the
+// experiment harness (internal/experiments) share one execution path: every
+// table and figure of the paper is itself just a scenario, and the golden
+// determinism suite pins that the declarative path reproduces the original
+// hand-wired runs bit for bit.
+//
+// Determinism contract: Run spawns simulation processes in a fixed order —
+// per VM its boot process then its workload (CM1 ranks are started after all
+// launches, as the barrier requires every rank), then the timed migrations in
+// declaration order, then the campaigns in declaration order. Two runs of an
+// identical scenario produce identical Results.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/hybridmig/hybridmig/internal/cluster"
+	"github.com/hybridmig/hybridmig/internal/guest"
+	"github.com/hybridmig/hybridmig/internal/metrics"
+	"github.com/hybridmig/hybridmig/internal/params"
+	"github.com/hybridmig/hybridmig/internal/sched"
+	"github.com/hybridmig/hybridmig/internal/sim"
+	"github.com/hybridmig/hybridmig/internal/trace"
+	"github.com/hybridmig/hybridmig/internal/workload"
+)
+
+// ErrInvalidScenario is wrapped by every scenario validation failure.
+var ErrInvalidScenario = errors.New("invalid scenario")
+
+// invalidf builds a validation error wrapping ErrInvalidScenario.
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("scenario: "+format+": %w", append(args, ErrInvalidScenario)...)
+}
+
+// WorkloadKind names a guest workload family.
+type WorkloadKind int
+
+// The declarative workload families.
+const (
+	WorkloadNone WorkloadKind = iota
+	WorkloadIOR
+	WorkloadAsyncWR
+	WorkloadRewrite
+)
+
+func (k WorkloadKind) String() string {
+	switch k {
+	case WorkloadNone:
+		return "none"
+	case WorkloadIOR:
+		return "ior"
+	case WorkloadAsyncWR:
+		return "asyncwr"
+	case WorkloadRewrite:
+		return "rewrite"
+	}
+	return fmt.Sprintf("workload(%d)", int(k))
+}
+
+// WorkloadSpec declares the workload one VM runs. Nil parameter pointers
+// select the run scale's defaults (Setup values for IOR/AsyncWR,
+// params.DefaultRewrite for the rewrite workload).
+type WorkloadSpec struct {
+	Kind    WorkloadKind
+	IOR     *params.IOR
+	AsyncWR *params.AsyncWR
+	Rewrite *params.Rewrite
+	// Deadline, when positive, stops an AsyncWR workload at that absolute
+	// virtual time even if iterations remain (fixed-horizon degradation
+	// measurements compare counters at a common instant).
+	Deadline float64
+}
+
+// IOR declares the IOR benchmark; p == nil uses the scale's defaults. IOR
+// guests run O_DIRECT (the instance is marked unbuffered), as in the paper.
+func IOR(p *params.IOR) WorkloadSpec { return WorkloadSpec{Kind: WorkloadIOR, IOR: p} }
+
+// AsyncWR declares the AsyncWR benchmark; p == nil uses the scale's
+// defaults. deadline > 0 bounds the run at that absolute virtual time.
+func AsyncWR(p *params.AsyncWR, deadline float64) WorkloadSpec {
+	return WorkloadSpec{Kind: WorkloadAsyncWR, AsyncWR: p, Deadline: deadline}
+}
+
+// Rewrite declares the hot/cold rewrite workload; p == nil uses
+// params.DefaultRewrite.
+func Rewrite(p *params.Rewrite) WorkloadSpec { return WorkloadSpec{Kind: WorkloadRewrite, Rewrite: p} }
+
+// VMSpec declares one VM: where it starts, which storage transfer approach
+// backs it, and what it runs.
+type VMSpec struct {
+	Name     string
+	Node     int
+	Approach cluster.Approach
+	Workload WorkloadSpec
+}
+
+// Migration is one timed entry of the migration plan: VM (by name) moves to
+// the node at Dst, triggered At seconds into the run.
+type Migration struct {
+	VM  string
+	Dst int
+	At  float64
+}
+
+// Step is one migration of a campaign (trigger timing is the campaign's).
+type Step struct {
+	VM  string
+	Dst int
+}
+
+// CampaignSpec is an orchestrated batch of migrations admitted under a
+// policy, triggered At seconds into the run.
+type CampaignSpec struct {
+	At     float64
+	Policy sched.Policy
+	Steps  []Step
+}
+
+// options collects the functional run options.
+type options struct {
+	scale       Scale
+	nodes       int
+	config      *cluster.Config
+	cm1         *params.CM1
+	horizon     float64
+	observers   []trace.Observer
+	sampleEvery float64
+	seedCapture bool
+}
+
+// Option configures a Scenario.
+type Option func(*options)
+
+// WithScale selects the run scale (default ScaleSmall): the testbed
+// configuration (unless WithConfig overrides it) and the defaults used for
+// nil workload parameters both come from it.
+func WithScale(s Scale) Option { return func(o *options) { o.scale = s } }
+
+// WithNodes fixes the number of compute nodes. Without it the scenario
+// allocates one node past the highest node index any VM or migration uses.
+func WithNodes(n int) Option { return func(o *options) { o.nodes = n } }
+
+// WithConfig supplies a complete cluster configuration, overriding the
+// testbed WithScale/WithNodes would build. This is the ablation hook:
+// everything down to the manager options override is reachable through it.
+// Nil workload parameters still resolve from WithScale — pass a matching
+// scale (or explicit parameters) alongside a non-default configuration.
+func WithConfig(cfg cluster.Config) Option { return func(o *options) { o.config = &cfg } }
+
+// WithCM1 runs the CM1 BSP application across all declared VMs, one rank per
+// VM in declaration order; p.Procs must equal the VM count. VMs' own
+// Workload specs must be WorkloadNone in this mode.
+func WithCM1(p params.CM1) Option { return func(o *options) { o.cm1 = &p } }
+
+// WithHorizon bounds the run at the given virtual time in seconds (default
+// 1e6). A scenario that still has pending simulation work at the horizon
+// fails with a *sim.DeadlineError instead of being truncated silently.
+func WithHorizon(t float64) Option { return func(o *options) { o.horizon = t } }
+
+// WithObserver subscribes an observer to the run's trace bus (migration
+// phases, pre-copy rounds, campaign admissions, degradation samples).
+// Observers see events synchronously in virtual-time order.
+func WithObserver(obs trace.Observer) Option {
+	return func(o *options) { o.observers = append(o.observers, obs) }
+}
+
+// WithSampleInterval enables periodic degradation samples (trace.KindSample,
+// one per VM every d seconds) while the migration plan is in flight. It only
+// takes effect when an observer is subscribed.
+func WithSampleInterval(d float64) Option { return func(o *options) { o.sampleEvery = d } }
+
+// WithSeedCapture records a hex-float determinism capture of the run into
+// Result.SeedCapture: every measured float64 is rendered with %x so the full
+// mantissa is visible, which is what golden tests diff.
+func WithSeedCapture() Option { return func(o *options) { o.seedCapture = true } }
+
+// Scenario is a declarative description of one simulated session. Build it
+// with New, AddVM, MigrateAt and Campaign, then call Run.
+type Scenario struct {
+	opt        options
+	vms        []VMSpec
+	migrations []Migration
+	campaigns  []CampaignSpec
+}
+
+// New returns an empty scenario with the given run options applied.
+func New(opts ...Option) *Scenario {
+	s := &Scenario{opt: options{horizon: 1e6}}
+	for _, o := range opts {
+		o(&s.opt)
+	}
+	return s
+}
+
+// AddVM declares a VM. Returns the scenario for chaining.
+func (s *Scenario) AddVM(v VMSpec) *Scenario {
+	s.vms = append(s.vms, v)
+	return s
+}
+
+// MigrateAt adds a timed migration of the named VM to node dst at time at.
+func (s *Scenario) MigrateAt(vm string, dst int, at float64) *Scenario {
+	s.migrations = append(s.migrations, Migration{VM: vm, Dst: dst, At: at})
+	return s
+}
+
+// Campaign adds an orchestrated batch of migrations admitted under pol,
+// triggered at time at.
+func (s *Scenario) Campaign(at float64, pol sched.Policy, steps ...Step) *Scenario {
+	s.campaigns = append(s.campaigns, CampaignSpec{At: at, Policy: pol, Steps: steps})
+	return s
+}
+
+// maxNodeIndex returns the highest node index the scenario references.
+func (s *Scenario) maxNodeIndex() int {
+	max := 0
+	for _, v := range s.vms {
+		if v.Node > max {
+			max = v.Node
+		}
+	}
+	for _, m := range s.migrations {
+		if m.Dst > max {
+			max = m.Dst
+		}
+	}
+	for _, c := range s.campaigns {
+		for _, st := range c.Steps {
+			if st.Dst > max {
+				max = st.Dst
+			}
+		}
+	}
+	return max
+}
+
+// resolve validates the scenario and returns the cluster configuration, the
+// per-scale defaults, and the name→index map.
+func (s *Scenario) resolve() (cluster.Config, Setup, map[string]int, error) {
+	var zero cluster.Config
+	byName := make(map[string]int, len(s.vms))
+	if len(s.vms) == 0 {
+		return zero, Setup{}, nil, invalidf("no VMs declared")
+	}
+	for i, v := range s.vms {
+		if v.Name == "" {
+			return zero, Setup{}, nil, invalidf("VM %d has no name", i)
+		}
+		if _, dup := byName[v.Name]; dup {
+			return zero, Setup{}, nil, invalidf("duplicate VM name %q", v.Name)
+		}
+		if v.Node < 0 {
+			return zero, Setup{}, nil, invalidf("VM %q on negative node %d", v.Name, v.Node)
+		}
+		valid := false
+		for _, a := range cluster.Approaches() {
+			if v.Approach == a {
+				valid = true
+			}
+		}
+		if !valid {
+			return zero, Setup{}, nil, invalidf("VM %q uses unknown approach %q", v.Name, v.Approach)
+		}
+		if s.opt.cm1 != nil && v.Workload.Kind != WorkloadNone {
+			return zero, Setup{}, nil, invalidf("VM %q declares a workload but WithCM1 runs one rank per VM", v.Name)
+		}
+		byName[v.Name] = i
+	}
+	checkStep := func(where, vm string, dst int) error {
+		if _, ok := byName[vm]; !ok {
+			return invalidf("%s references unknown VM %q", where, vm)
+		}
+		if dst < 0 {
+			return invalidf("%s of VM %q targets negative node %d", where, vm, dst)
+		}
+		return nil
+	}
+	for _, m := range s.migrations {
+		if err := checkStep("migration", m.VM, m.Dst); err != nil {
+			return zero, Setup{}, nil, err
+		}
+	}
+	for ci, c := range s.campaigns {
+		if c.Policy == nil {
+			return zero, Setup{}, nil, invalidf("campaign %d has no policy", ci)
+		}
+		if len(c.Steps) == 0 {
+			return zero, Setup{}, nil, invalidf("campaign %d has no migrations", ci)
+		}
+		for _, st := range c.Steps {
+			if err := checkStep("campaign migration", st.VM, st.Dst); err != nil {
+				return zero, Setup{}, nil, err
+			}
+		}
+	}
+	if s.opt.cm1 != nil {
+		if s.opt.cm1.GridX*s.opt.cm1.GridY != s.opt.cm1.Procs {
+			return zero, Setup{}, nil, invalidf("CM1 grid %dx%d does not match %d ranks",
+				s.opt.cm1.GridX, s.opt.cm1.GridY, s.opt.cm1.Procs)
+		}
+		if s.opt.cm1.Procs != len(s.vms) {
+			return zero, Setup{}, nil, invalidf("CM1 declares %d ranks but the scenario has %d VMs",
+				s.opt.cm1.Procs, len(s.vms))
+		}
+	}
+
+	nodes := s.opt.nodes
+	if nodes <= 0 {
+		nodes = s.maxNodeIndex() + 1
+	}
+	set := NewSetup(s.opt.scale, nodes)
+	cfg := set.Cluster
+	if s.opt.config != nil {
+		cfg = *s.opt.config
+	}
+	if top := s.maxNodeIndex(); top >= cfg.Nodes {
+		return zero, Setup{}, nil, invalidf("node index %d out of range (testbed has %d nodes)", top, cfg.Nodes)
+	}
+	return cfg, set, byName, nil
+}
+
+// runner holds one VM's live workload instance for result collection.
+type runner struct {
+	kind WorkloadKind
+	ior  *workload.IOR
+	awr  *workload.AsyncWR
+	rw   *workload.Rewriter
+}
+
+// Run assembles the testbed, executes the scenario until the simulation
+// drains, and collects the Result. On a horizon overrun it returns the
+// partial Result together with a *sim.DeadlineError; on a validation failure
+// it returns a nil Result and an error wrapping ErrInvalidScenario.
+func (s *Scenario) Run() (*Result, error) {
+	cfg, set, byName, err := s.resolve()
+	if err != nil {
+		return nil, err
+	}
+	tb := cluster.New(cfg)
+	for _, o := range s.opt.observers {
+		tb.Observe(o)
+	}
+	eng := tb.Eng
+
+	var cm1 *workload.CM1
+	if s.opt.cm1 != nil {
+		cm1 = workload.NewCM1(*s.opt.cm1, tb.Cl)
+	}
+
+	insts := make([]*cluster.Instance, len(s.vms))
+	runners := make([]runner, len(s.vms))
+	launch := func(i int) {
+		v := s.vms[i]
+		insts[i] = tb.Launch(v.Name, v.Node, v.Approach)
+		if v.Workload.Kind == WorkloadIOR {
+			// IOR is a storage benchmark: it runs O_DIRECT in the guest.
+			insts[i].Guest.Buffered = false
+		}
+	}
+	if cm1 == nil {
+		// Launch and workload interleave per VM, preserving the original
+		// hand-wired spawn order of the experiment harness.
+		for i := range s.vms {
+			launch(i)
+			s.startWorkload(tb, insts[i], &runners[i], s.vms[i], set)
+		}
+	} else {
+		// CM1 ranks exchange halos with every peer, so all guests must
+		// exist before any rank starts.
+		for i := range s.vms {
+			launch(i)
+		}
+		guests := make([]*guest.Guest, len(insts))
+		for i, inst := range insts {
+			guests[i] = inst.Guest
+		}
+		for i := range s.vms {
+			i := i
+			eng.Go(s.vms[i].Name+"/cm1", func(p *sim.Proc) {
+				cm1.Rank(p, i, guests[i], guests)
+			})
+		}
+	}
+
+	for _, m := range s.migrations {
+		m := m
+		idx := byName[m.VM]
+		eng.Go("middleware/"+m.VM, func(p *sim.Proc) {
+			p.Sleep(m.At)
+			tb.MigrateInstance(p, insts[idx], m.Dst)
+		})
+	}
+	campaigns := make([]*metrics.Campaign, len(s.campaigns))
+	for ci, c := range s.campaigns {
+		ci, c := ci, c
+		reqs := make([]cluster.MigrationRequest, len(c.Steps))
+		for k, st := range c.Steps {
+			reqs[k] = cluster.MigrationRequest{Inst: insts[byName[st.VM]], DstIdx: st.Dst}
+		}
+		eng.Go("orchestrator", func(p *sim.Proc) {
+			p.Sleep(c.At)
+			campaigns[ci] = tb.MigrateAll(p, reqs, c.Policy)
+		})
+	}
+
+	if len(s.opt.observers) > 0 && s.opt.sampleEvery > 0 && s.planSize() > 0 {
+		s.startSampler(tb, insts, byName)
+	}
+
+	runErr := eng.Drain(s.opt.horizon)
+	eng.Shutdown()
+	res := s.collect(tb, insts, runners, cm1, campaigns)
+	if runErr != nil {
+		return res, runErr
+	}
+	for ci, c := range campaigns {
+		if c == nil {
+			return res, fmt.Errorf("scenario: campaign %d (%s) did not complete", ci, s.campaigns[ci].Policy.Name())
+		}
+	}
+	return res, nil
+}
+
+// planSize returns the total number of planned migrations.
+func (s *Scenario) planSize() int {
+	n := len(s.migrations)
+	for _, c := range s.campaigns {
+		n += len(c.Steps)
+	}
+	return n
+}
+
+// startWorkload spawns the VM's workload process and records its handle.
+func (s *Scenario) startWorkload(tb *cluster.Testbed, inst *cluster.Instance, r *runner, v VMSpec, set Setup) {
+	r.kind = v.Workload.Kind
+	switch v.Workload.Kind {
+	case WorkloadNone:
+	case WorkloadIOR:
+		p := set.IOR
+		if v.Workload.IOR != nil {
+			p = *v.Workload.IOR
+		}
+		r.ior = workload.NewIOR(p)
+		tb.Eng.Go(v.Name+"/ior", func(pr *sim.Proc) { r.ior.Run(pr, inst.Guest) })
+	case WorkloadAsyncWR:
+		p := set.AsyncWR
+		if v.Workload.AsyncWR != nil {
+			p = *v.Workload.AsyncWR
+		}
+		r.awr = workload.NewAsyncWR(p)
+		r.awr.Deadline = v.Workload.Deadline
+		tb.Eng.Go(v.Name+"/asyncwr", func(pr *sim.Proc) { r.awr.Run(pr, inst.Guest) })
+	case WorkloadRewrite:
+		p := params.DefaultRewrite()
+		if v.Workload.Rewrite != nil {
+			p = *v.Workload.Rewrite
+		}
+		r.rw = workload.NewRewriter(p)
+		tb.Eng.Go(v.Name+"/rewrite", func(pr *sim.Proc) { r.rw.Run(pr, inst.Guest) })
+	default:
+		panic(fmt.Sprintf("scenario: unhandled workload kind %v", v.Workload.Kind))
+	}
+}
+
+// startSampler emits periodic degradation samples (per-VM dirty cache bytes)
+// until every planned migration has completed. byName is resolve()'s
+// validated name→index map.
+func (s *Scenario) startSampler(tb *cluster.Testbed, insts []*cluster.Instance, byName map[string]int) {
+	planned := make([]*cluster.Instance, 0, s.planSize())
+	seen := map[*cluster.Instance]bool{}
+	mark := func(name string) {
+		inst := insts[byName[name]]
+		if !seen[inst] {
+			seen[inst] = true
+			planned = append(planned, inst)
+		}
+	}
+	for _, m := range s.migrations {
+		mark(m.VM)
+	}
+	for _, c := range s.campaigns {
+		for _, st := range c.Steps {
+			mark(st.VM)
+		}
+	}
+	bus := tb.Bus()
+	tb.Eng.Go("observer/sampler", func(p *sim.Proc) {
+		for {
+			done := true
+			for _, inst := range planned {
+				if !inst.Migrated {
+					done = false
+					break
+				}
+			}
+			if done {
+				return
+			}
+			for _, inst := range insts {
+				bus.Emit(trace.Event{
+					Time: p.Now(), Kind: trace.KindSample, VM: inst.Name,
+					Detail: "dirty-bytes", Value: float64(inst.Guest.Cache.DirtyBytes()),
+				})
+			}
+			p.Sleep(s.opt.sampleEvery)
+		}
+	})
+}

@@ -1,0 +1,253 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/hybridmig/hybridmig/internal/cluster"
+	"github.com/hybridmig/hybridmig/internal/sched"
+	"github.com/hybridmig/hybridmig/internal/sim"
+	"github.com/hybridmig/hybridmig/internal/trace"
+)
+
+// quick returns a one-VM rewrite scenario ready to run.
+func quick(opts ...Option) *Scenario {
+	return New(opts...).
+		AddVM(VMSpec{Name: "vm0", Node: 0, Approach: cluster.OurApproach, Workload: Rewrite(nil)}).
+		MigrateAt("vm0", 1, 3)
+}
+
+func TestQuickstartScenario(t *testing.T) {
+	res, err := quick(WithNodes(4), WithSeedCapture()).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := res.VM("vm0")
+	if vm == nil || !vm.Migrated {
+		t.Fatal("vm0 did not migrate")
+	}
+	if vm.Node != 1 {
+		t.Fatalf("vm0 on node %d, want 1", vm.Node)
+	}
+	if vm.MigrationTime <= 0 || vm.Downtime <= 0 || vm.Rounds < 1 {
+		t.Fatalf("degenerate migration stats %+v", vm)
+	}
+	if vm.Workload.Kind != WorkloadRewrite || vm.Workload.Iterations == 0 {
+		t.Fatalf("workload did not run: %+v", vm.Workload)
+	}
+	if res.Traffic["memory"] <= 0 || res.MigrationTraffic(cluster.OurApproach) <= 0 {
+		t.Fatalf("no traffic recorded: %v", res.Traffic)
+	}
+	if res.SeedCapture == "" {
+		t.Fatal("WithSeedCapture produced no capture")
+	}
+}
+
+// TestScenarioDeterminism runs the same scenario twice and requires the
+// hex-float seed captures to match bit for bit.
+func TestScenarioDeterminism(t *testing.T) {
+	a, err := quick(WithNodes(4), WithSeedCapture()).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := quick(WithNodes(4), WithSeedCapture()).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SeedCapture != b.SeedCapture {
+		t.Fatalf("repeated runs diverge:\n%s\nvs\n%s", a.SeedCapture, b.SeedCapture)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		s    *Scenario
+	}{
+		{"no VMs", New()},
+		{"duplicate name", New().
+			AddVM(VMSpec{Name: "a", Approach: cluster.OurApproach}).
+			AddVM(VMSpec{Name: "a", Approach: cluster.OurApproach})},
+		{"unknown approach", New().AddVM(VMSpec{Name: "a", Approach: "warp-drive"})},
+		{"unknown migration VM", New().
+			AddVM(VMSpec{Name: "a", Approach: cluster.OurApproach}).
+			MigrateAt("ghost", 1, 1)},
+		{"node out of range", New(WithNodes(2)).
+			AddVM(VMSpec{Name: "a", Node: 0, Approach: cluster.OurApproach}).
+			MigrateAt("a", 7, 1)},
+		{"campaign without policy", New().
+			AddVM(VMSpec{Name: "a", Approach: cluster.OurApproach}).
+			Campaign(1, nil, Step{VM: "a", Dst: 1})},
+		{"cm1 rank mismatch", func() *Scenario {
+			set := NewSetup(ScaleSmall, 4)
+			p := set.CM1
+			p.Procs, p.GridX, p.GridY = 4, 2, 2
+			s := New(WithNodes(4), WithCM1(p))
+			s.AddVM(VMSpec{Name: "a", Approach: cluster.OurApproach})
+			return s
+		}()},
+	}
+	for _, c := range cases {
+		res, err := c.s.Run()
+		if err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		if !errors.Is(err, ErrInvalidScenario) {
+			t.Errorf("%s: error %v does not wrap ErrInvalidScenario", c.name, err)
+		}
+		if res != nil {
+			t.Errorf("%s: validation failure returned a result", c.name)
+		}
+	}
+}
+
+// TestHorizonOverrunIsTyped pins the deadline contract: a scenario that
+// cannot finish by the horizon fails with a *sim.DeadlineError carrying the
+// stuck-work diagnosis, and still returns the partial result.
+func TestHorizonOverrunIsTyped(t *testing.T) {
+	res, err := quick(WithNodes(4), WithHorizon(1)).Run()
+	if err == nil {
+		t.Fatal("horizon overrun not reported")
+	}
+	var de *sim.DeadlineError
+	if !errors.As(err, &de) {
+		t.Fatalf("error %T is not a *sim.DeadlineError: %v", err, err)
+	}
+	if de.Horizon != 1 || de.Pending <= 0 {
+		t.Fatalf("deadline error not descriptive: %+v", de)
+	}
+	if res == nil {
+		t.Fatal("no partial result alongside the deadline error")
+	}
+}
+
+// TestObserverOrdering subscribes a recording observer to a two-VM campaign
+// and checks the full event contract: nondecreasing virtual time, per-VM
+// phase progression (requested -> phase transitions -> completed), campaign
+// admission bracketing, pre-copy rounds, and degradation samples.
+func TestObserverOrdering(t *testing.T) {
+	var events []trace.Event
+	rec := trace.ObserverFunc(func(e trace.Event) { events = append(events, e) })
+
+	s := New(WithNodes(6), WithObserver(rec), WithSampleInterval(0.5))
+	for i := 0; i < 2; i++ {
+		s.AddVM(VMSpec{Name: fmt.Sprintf("vm%d", i), Node: i,
+			Approach: cluster.OurApproach, Workload: Rewrite(nil)})
+	}
+	s.Campaign(2, sched.Serial{}, Step{VM: "vm0", Dst: 2}, Step{VM: "vm1", Dst: 3})
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("observer saw nothing")
+	}
+
+	last := -1.0
+	counts := map[trace.Kind]int{}
+	phaseIdx := map[string]int{} // per-VM position in the expected phase order
+	phaseOrder := map[string]int{"push": 0, "control-transfer": 1, "released": 2}
+	admitted := map[string]bool{}
+	for _, e := range events {
+		if e.Time < last {
+			t.Fatalf("event time went backwards: %v after %v", e, last)
+		}
+		last = e.Time
+		counts[e.Kind]++
+		switch e.Kind {
+		case trace.KindPhase:
+			want, ok := phaseOrder[e.Detail]
+			if !ok {
+				t.Fatalf("unknown phase %q", e.Detail)
+			}
+			if want != phaseIdx[e.VM] {
+				t.Fatalf("%s: phase %q out of order (position %d)", e.VM, e.Detail, phaseIdx[e.VM])
+			}
+			phaseIdx[e.VM]++
+		case trace.KindJobAdmitted:
+			admitted[e.VM] = true
+		case trace.KindMigrationRequested:
+			if !admitted[e.VM] {
+				t.Fatalf("%s migration requested before campaign admission", e.VM)
+			}
+		}
+	}
+	for _, k := range []trace.Kind{
+		trace.KindMigrationRequested, trace.KindPhase, trace.KindRound,
+		trace.KindMigrationCompleted, trace.KindJobQueued, trace.KindJobAdmitted,
+		trace.KindJobFinished, trace.KindCampaignStarted, trace.KindCampaignFinished,
+		trace.KindSample,
+	} {
+		if counts[k] == 0 {
+			t.Errorf("no %v events observed", k)
+		}
+	}
+	if counts[trace.KindMigrationCompleted] != 2 {
+		t.Errorf("completed events = %d, want 2", counts[trace.KindMigrationCompleted])
+	}
+	// Serial policy: vm1's admission must come after vm0's finish.
+	var vm0Done, vm1Adm float64 = -1, -1
+	for _, e := range events {
+		if e.Kind == trace.KindJobFinished && e.VM == "vm0" {
+			vm0Done = e.Time
+		}
+		if e.Kind == trace.KindJobAdmitted && e.VM == "vm1" {
+			vm1Adm = e.Time
+		}
+	}
+	if vm1Adm < vm0Done {
+		t.Errorf("serial policy admitted vm1 at %v before vm0 finished at %v", vm1Adm, vm0Done)
+	}
+	if res.Campaigns[0].Jobs != 2 {
+		t.Errorf("campaign jobs = %d", res.Campaigns[0].Jobs)
+	}
+}
+
+// TestObserverDoesNotPerturb pins that subscribing an observer (with
+// sampling enabled) leaves the simulation outcome bit-identical.
+func TestObserverDoesNotPerturb(t *testing.T) {
+	plain, err := quick(WithNodes(4), WithSeedCapture()).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	obs := trace.ObserverFunc(func(trace.Event) { n++ })
+	observed, err := quick(WithNodes(4), WithSeedCapture(),
+		WithObserver(obs), WithSampleInterval(0.25)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("observer saw nothing")
+	}
+	if plain.SeedCapture != observed.SeedCapture {
+		t.Fatalf("observing changed the simulation:\n%s\nvs\n%s",
+			plain.SeedCapture, observed.SeedCapture)
+	}
+}
+
+// TestCM1Scenario runs a small CM1 grid with one migration through the
+// declarative path.
+func TestCM1Scenario(t *testing.T) {
+	set := NewSetup(ScaleSmall, 6)
+	p := set.CM1
+	p.Procs, p.GridX, p.GridY = 4, 2, 2
+	p.Intervals = 3
+	s := New(WithNodes(6), WithCM1(p))
+	for i := 0; i < 4; i++ {
+		s.AddVM(VMSpec{Name: fmt.Sprintf("rank%d", i), Node: i, Approach: cluster.OurApproach})
+	}
+	s.MigrateAt("rank0", 4, 1)
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CM1 == nil || res.CM1.Intervals != 3 {
+		t.Fatalf("CM1 report %+v", res.CM1)
+	}
+	if !res.VMs[0].Migrated || res.VMs[0].Node != 4 {
+		t.Fatalf("rank0 result %+v", res.VMs[0])
+	}
+}

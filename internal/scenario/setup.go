@@ -1,0 +1,94 @@
+package scenario
+
+import (
+	"github.com/hybridmig/hybridmig/internal/cluster"
+	"github.com/hybridmig/hybridmig/internal/params"
+)
+
+// Scale selects the run size of a scenario or experiment.
+type Scale int
+
+// Available scales.
+const (
+	// ScaleSmall preserves every ratio of the paper's testbed at roughly
+	// 1/16 size, so full scenario suites double as fast regression tests.
+	ScaleSmall Scale = iota
+	// ScalePaper reproduces the paper's Section 5 parameters (4 GB images
+	// and RAM, 100-second warm-up, up to 30 concurrent migrations).
+	ScalePaper
+)
+
+func (s Scale) String() string {
+	if s == ScalePaper {
+		return "paper"
+	}
+	return "small"
+}
+
+// Setup bundles the per-scale defaults one scenario or experiment run needs:
+// the cluster configuration plus the paper's workload parameters and timing
+// constants at that scale.
+type Setup struct {
+	Scale   Scale
+	Cluster cluster.Config
+	IOR     params.IOR
+	AsyncWR params.AsyncWR
+	CM1     params.CM1
+	Warmup  float64
+	Gap     float64 // delay between successive migrations (Fig. 5)
+	// Horizon is the fixed wall-clock window for degradation measurements
+	// (Fig. 4c): computational potential is compared at this absolute time.
+	Horizon float64
+}
+
+// NewSetup returns the configuration for a scale and node count.
+func NewSetup(s Scale, nodes int) Setup {
+	if s == ScalePaper {
+		cfg := cluster.DefaultConfig(nodes)
+		return Setup{
+			Scale:   s,
+			Cluster: cfg,
+			IOR:     params.DefaultIOR(),
+			AsyncWR: params.DefaultAsyncWR(),
+			CM1:     defaultCM1(),
+			Warmup:  cfg.Experiment.WarmupDelay,
+			Gap:     cfg.Experiment.SuccessiveGap,
+			Horizon: 180,
+		}
+	}
+	cfg := cluster.SmallConfig(nodes)
+	return Setup{
+		Scale:   s,
+		Cluster: cfg,
+		IOR:     params.IOR{Iterations: 40, FileSize: 64 * params.MB, BlockSize: 256 * params.KB},
+		AsyncWR: params.AsyncWR{
+			Iterations:      90,
+			DataPerIter:     2 * params.MB,
+			ComputeTime:     0.35,
+			MemoryDirtyRate: 8 * params.MB,
+			WorkingSet:      16 * params.MB,
+		},
+		CM1: params.CM1{
+			Procs: 16, GridX: 4, GridY: 4,
+			Intervals:       8,
+			ComputePerIntvl: 6,
+			OutputSize:      12 * params.MB,
+			HaloBytes:       1 * params.MB,
+			MemoryDirtyRate: 10 * params.MB,
+			WorkingSet:      48 * params.MB,
+		},
+		Warmup:  8,
+		Gap:     8,
+		Horizon: 20,
+	}
+}
+
+// defaultCM1 adapts params.DefaultCM1 for convergence realism (see
+// DESIGN.md: the stencil dirty rate must sit below the NIC rate or no
+// pre-copy implementation can ever converge).
+func defaultCM1() params.CM1 {
+	p := params.DefaultCM1()
+	p.Intervals = 12
+	p.MemoryDirtyRate = 60 * params.MB
+	return p
+}

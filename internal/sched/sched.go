@@ -31,6 +31,7 @@ import (
 	"github.com/hybridmig/hybridmig/internal/flow"
 	"github.com/hybridmig/hybridmig/internal/metrics"
 	"github.com/hybridmig/hybridmig/internal/sim"
+	"github.com/hybridmig/hybridmig/internal/trace"
 )
 
 // Job is one migration of a campaign. Run blocks until the migration fully
@@ -141,6 +142,9 @@ func Policies(n int) []Policy {
 type Orchestrator struct {
 	eng *sim.Engine
 	net *flow.Net // optional: enables traffic accounting
+	// Trace, when non-nil, receives campaign admission events: job
+	// queued/admitted/finished plus campaign start/finish brackets.
+	Trace *trace.Bus
 }
 
 // New returns an orchestrator. net may be nil, in which case campaign
@@ -160,6 +164,12 @@ func (o *Orchestrator) Run(p *sim.Proc, jobs []Job, pol Policy) *metrics.Campaig
 		Start:    eng.Now(),
 		JobStats: make([]metrics.JobStat, len(jobs)),
 	}
+	emit := func(kind trace.Kind, vm, detail string, value float64) {
+		if o.Trace.Active() {
+			o.Trace.Emit(trace.Event{Time: eng.Now(), Kind: kind, VM: vm, Detail: detail, Value: value})
+		}
+	}
+	emit(trace.KindCampaignStarted, "", pol.Name(), float64(len(jobs)))
 	var before []float64
 	if o.net != nil {
 		for _, t := range flow.Tags() {
@@ -187,6 +197,7 @@ func (o *Orchestrator) Run(p *sim.Proc, jobs []Job, pol Policy) *metrics.Campaig
 		st := &c.JobStats[i]
 		st.Name = j.Name
 		st.Queued = eng.Now()
+		emit(trace.KindJobQueued, j.Name, pol.Name(), 0)
 		wg.Add(1)
 		eng.Go("sched/"+j.Name, func(jp *sim.Proc) {
 			pol.AwaitWindow(jp, j)
@@ -196,6 +207,7 @@ func (o *Orchestrator) Run(p *sim.Proc, jobs []Job, pol Policy) *metrics.Campaig
 				c.PeakConcurrent = running
 			}
 			st.Started = jp.Now()
+			emit(trace.KindJobAdmitted, j.Name, pol.Name(), float64(running))
 			sampleFlows()
 			j.Run(jp)
 			st.Finished = jp.Now()
@@ -203,6 +215,7 @@ func (o *Orchestrator) Run(p *sim.Proc, jobs []Job, pol Policy) *metrics.Campaig
 				st.Downtime = j.Downtime()
 				c.TotalDowntime += st.Downtime
 			}
+			emit(trace.KindJobFinished, j.Name, pol.Name(), st.Downtime)
 			sampleFlows()
 			running--
 			slots.Release(eng)
@@ -211,6 +224,7 @@ func (o *Orchestrator) Run(p *sim.Proc, jobs []Job, pol Policy) *metrics.Campaig
 	}
 	wg.Wait(p)
 	c.End = eng.Now()
+	emit(trace.KindCampaignFinished, "", pol.Name(), c.Makespan())
 	if o.net != nil {
 		for i, t := range flow.Tags() {
 			d := o.net.BytesByTag(t) - before[i]

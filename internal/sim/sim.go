@@ -37,6 +37,21 @@ var errKilled = errors.New("sim: process killed")
 // ErrStopped is returned by Run when the engine was stopped explicitly.
 var ErrStopped = errors.New("sim: engine stopped")
 
+// DeadlineError reports that a simulation reached its horizon with work
+// still pending: the event queue was not empty when the clock hit the
+// limit. Callers distinguish it from other failures with errors.As.
+type DeadlineError struct {
+	Horizon Time // the limit that was hit
+	Next    Time // timestamp of the earliest unexecuted event
+	Pending int  // events still queued beyond the horizon
+	Live    int  // processes still alive (running or parked)
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("sim: horizon %g s exceeded: %d events pending (next at %g s), %d live processes",
+		e.Horizon, e.Pending, e.Next, e.Live)
+}
+
 // event is a scheduled callback. Records are recycled through Engine.free;
 // gen distinguishes a live record from a recycled one so stale Timer handles
 // can never cancel an unrelated event.
@@ -258,6 +273,26 @@ func (e *Engine) RunUntil(limit Time) error {
 	}
 	if e.stopped {
 		return ErrStopped
+	}
+	return nil
+}
+
+// Drain executes events until the queue empties, like RunUntil, but treats
+// reaching the limit with events still queued as an error: it returns a
+// *DeadlineError describing the stuck work. This is the run primitive for
+// scenarios that are structurally expected to complete — a horizon overrun
+// means a workload or migration never finished, not a normal end.
+func (e *Engine) Drain(limit Time) error {
+	if err := e.RunUntil(limit); err != nil {
+		return err
+	}
+	if len(e.queue) > 0 {
+		return &DeadlineError{
+			Horizon: limit,
+			Next:    e.queue[0].t,
+			Pending: len(e.queue),
+			Live:    len(e.procs),
+		}
 	}
 	return nil
 }

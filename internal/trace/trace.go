@@ -1,0 +1,151 @@
+// Package trace is the simulation's observer bus: a lightweight,
+// allocation-conscious event stream that the migration manager (internal/core),
+// the cloud middleware (internal/cluster), the hypervisor (internal/hv) and
+// the campaign orchestrator (internal/sched) publish to, and that callers of
+// the public facade subscribe to instead of scraping logs.
+//
+// Emitting an event never schedules simulation work: observers run inline at
+// the instant of the event, synchronously, in subscription order. A run with
+// no subscribers therefore behaves bit-for-bit like a run that predates the
+// bus (the golden determinism suite pins this), and a run with subscribers
+// only differs by the observers' own side effects.
+package trace
+
+import "fmt"
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds published by the simulation layers.
+const (
+	// KindMigrationRequested marks the middleware accepting a migration
+	// request for a VM (cluster.MigrateInstance entry). Detail holds the
+	// approach name; Value the destination node ID.
+	KindMigrationRequested Kind = iota
+	// KindPhase marks a storage-migration phase transition in the manager
+	// (core): Detail is one of "push", "mirror", "passive" (postcopy's
+	// source phase), "control-transfer", "released".
+	KindPhase
+	// KindRound marks the start of one hypervisor pre-copy round. Round is
+	// the 0-based round number; Value the round's payload in bytes.
+	KindRound
+	// KindMigrationCompleted marks a migration fully finished per its
+	// approach's definition of migration time. Value is the migration time
+	// in seconds.
+	KindMigrationCompleted
+	// KindJobQueued marks a campaign job submitted to the orchestrator.
+	KindJobQueued
+	// KindJobAdmitted marks a campaign job passing admission control
+	// (policy window open and concurrency slot acquired).
+	KindJobAdmitted
+	// KindJobFinished marks a campaign job completing. Value is the job's
+	// downtime in seconds when known.
+	KindJobFinished
+	// KindCampaignStarted and KindCampaignFinished bracket one orchestrated
+	// campaign. Detail is the policy name; Value the job count (started) or
+	// the makespan in seconds (finished).
+	KindCampaignStarted
+	KindCampaignFinished
+	// KindSample is a periodic degradation sample of one VM, emitted by the
+	// scenario runner while migrations are in flight. Detail names the
+	// sampled quantity (currently "dirty-bytes"); Value carries it.
+	KindSample
+)
+
+// String returns the kind's wire/report name.
+func (k Kind) String() string {
+	switch k {
+	case KindMigrationRequested:
+		return "migration-requested"
+	case KindPhase:
+		return "phase"
+	case KindRound:
+		return "round"
+	case KindMigrationCompleted:
+		return "migration-completed"
+	case KindJobQueued:
+		return "job-queued"
+	case KindJobAdmitted:
+		return "job-admitted"
+	case KindJobFinished:
+		return "job-finished"
+	case KindCampaignStarted:
+		return "campaign-started"
+	case KindCampaignFinished:
+		return "campaign-finished"
+	case KindSample:
+		return "sample"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one observation. The struct is flat and value-typed so emitting
+// does not allocate beyond the observer call itself.
+type Event struct {
+	Time   float64 // virtual time in seconds
+	Kind   Kind
+	VM     string  // instance/job name; "" for campaign-level events
+	Detail string  // kind-specific label (phase name, policy name, ...)
+	Round  int     // pre-copy round number (KindRound)
+	Value  float64 // kind-specific measurement
+}
+
+// String renders the event for debugging and textual traces.
+func (e Event) String() string {
+	s := fmt.Sprintf("%10.4f %-20s", e.Time, e.Kind)
+	if e.VM != "" {
+		s += " vm=" + e.VM
+	}
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	if e.Kind == KindRound {
+		s += fmt.Sprintf(" round=%d", e.Round)
+	}
+	if e.Value != 0 {
+		s += fmt.Sprintf(" value=%g", e.Value)
+	}
+	return s
+}
+
+// Observer receives events. Implementations must not mutate simulation
+// state; they run synchronously inside the emitting layer.
+type Observer interface {
+	OnEvent(Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// OnEvent implements Observer.
+func (f ObserverFunc) OnEvent(e Event) { f(e) }
+
+// Bus fans events out to subscribers. The zero value is ready to use; a nil
+// *Bus is valid and drops everything, so layers can hold an optional bus
+// without nil checks at every emission site.
+type Bus struct {
+	obs []Observer
+}
+
+// Subscribe registers an observer. Observers are notified in subscription
+// order.
+func (b *Bus) Subscribe(o Observer) {
+	if o != nil {
+		b.obs = append(b.obs, o)
+	}
+}
+
+// Active reports whether any observer is subscribed. Layers use it to skip
+// building event payloads on the hot path.
+func (b *Bus) Active() bool { return b != nil && len(b.obs) > 0 }
+
+// Emit delivers the event to every subscriber, in order. It is a no-op on a
+// nil or empty bus.
+func (b *Bus) Emit(e Event) {
+	if b == nil {
+		return
+	}
+	for _, o := range b.obs {
+		o.OnEvent(e)
+	}
+}

@@ -1,0 +1,49 @@
+package hybridmig
+
+import (
+	"github.com/hybridmig/hybridmig/internal/trace"
+)
+
+// Observer receives trace events from a running scenario. Implementations
+// must not mutate simulation state; they run synchronously at the instant of
+// each event, in virtual-time order.
+type Observer = trace.Observer
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc = trace.ObserverFunc
+
+// Event is one observation from the simulation layers: time-stamped, flat,
+// and value-typed.
+type Event = trace.Event
+
+// EventKind classifies trace events.
+type EventKind = trace.Kind
+
+// The event kinds a scenario publishes. See the trace package constants for
+// field semantics.
+const (
+	// KindMigrationRequested: the middleware accepted a migration request
+	// (Detail = approach, Value = destination node ID).
+	KindMigrationRequested = trace.KindMigrationRequested
+	// KindPhase: a storage-migration phase transition in the manager
+	// (Detail = "push", "mirror", "passive", "control-transfer", "released").
+	KindPhase = trace.KindPhase
+	// KindRound: start of a hypervisor pre-copy round (Round = number,
+	// Value = payload bytes).
+	KindRound = trace.KindRound
+	// KindMigrationCompleted: a migration fully finished (Value = migration
+	// time in seconds).
+	KindMigrationCompleted = trace.KindMigrationCompleted
+	// KindJobQueued, KindJobAdmitted, KindJobFinished: campaign admission
+	// lifecycle of one migration job.
+	KindJobQueued   = trace.KindJobQueued
+	KindJobAdmitted = trace.KindJobAdmitted
+	KindJobFinished = trace.KindJobFinished
+	// KindCampaignStarted, KindCampaignFinished: campaign brackets
+	// (Detail = policy name).
+	KindCampaignStarted  = trace.KindCampaignStarted
+	KindCampaignFinished = trace.KindCampaignFinished
+	// KindSample: periodic degradation sample (Detail = "dirty-bytes",
+	// Value = the sampled quantity). Enabled by WithSampleInterval.
+	KindSample = trace.KindSample
+)

@@ -1,0 +1,102 @@
+package hybridmig
+
+import (
+	"github.com/hybridmig/hybridmig/internal/scenario"
+)
+
+// Scenario is a declarative description of one simulated session: VMs, a
+// migration plan, and run options. Build it with NewScenario, AddVM,
+// MigrateAt and Campaign, then call Run. A Scenario is single-use state
+// about one description; Run may be called repeatedly and each call executes
+// a fresh, deterministic simulation of it.
+type Scenario = scenario.Scenario
+
+// VMSpec declares one VM: where it starts, which storage transfer approach
+// backs it, and what workload it runs.
+type VMSpec = scenario.VMSpec
+
+// WorkloadSpec declares a VM's workload; build one with IOR, AsyncWR,
+// Rewrite, or leave it zero for an idle guest.
+type WorkloadSpec = scenario.WorkloadSpec
+
+// WorkloadKind names a workload family in results.
+type WorkloadKind = scenario.WorkloadKind
+
+// The declarative workload families.
+const (
+	WorkloadNone    = scenario.WorkloadNone
+	WorkloadIOR     = scenario.WorkloadIOR
+	WorkloadAsyncWR = scenario.WorkloadAsyncWR
+	WorkloadRewrite = scenario.WorkloadRewrite
+)
+
+// Step is one migration of a campaign: the named VM moves to node Dst when
+// the campaign's policy admits it.
+type Step = scenario.Step
+
+// Result is what Scenario.Run returns: per-VM migration/downtime stats and
+// workload counters, campaign aggregates, and per-tag network traffic.
+type Result = scenario.Result
+
+// VMResult is one VM's outcome within a Result.
+type VMResult = scenario.VMResult
+
+// WorkloadResult carries one VM workload's counters.
+type WorkloadResult = scenario.WorkloadResult
+
+// Option configures a Scenario at construction.
+type Option = scenario.Option
+
+// NewScenario returns an empty scenario with the given run options applied.
+func NewScenario(opts ...Option) *Scenario { return scenario.New(opts...) }
+
+// IOR declares the IOR benchmark for a VM; p == nil uses the run scale's
+// defaults. IOR guests run O_DIRECT, as in the paper.
+func IOR(p *IORParams) WorkloadSpec { return scenario.IOR(p) }
+
+// AsyncWR declares the AsyncWR benchmark; p == nil uses the run scale's
+// defaults. deadline > 0 stops the workload at that absolute virtual time
+// (fixed-horizon degradation measurements compare counters at one instant).
+func AsyncWR(p *AsyncWRParams, deadline float64) WorkloadSpec { return scenario.AsyncWR(p, deadline) }
+
+// Rewrite declares the hot/cold rewrite workload; p == nil uses
+// DefaultRewriteParams.
+func Rewrite(p *RewriteParams) WorkloadSpec { return scenario.Rewrite(p) }
+
+// WithScale selects the run scale (default ScaleSmall): the testbed
+// configuration (unless WithConfig overrides it) and the defaults used for
+// nil workload parameters both come from it.
+func WithScale(s Scale) Option { return scenario.WithScale(s) }
+
+// WithNodes fixes the number of compute nodes. Without it the scenario
+// allocates one node past the highest node index it references.
+func WithNodes(n int) Option { return scenario.WithNodes(n) }
+
+// WithConfig supplies a complete cluster configuration (see DefaultConfig,
+// SmallConfig, SetupFor), overriding the testbed WithScale and WithNodes
+// would build. Nil workload parameters still resolve from WithScale — pass
+// a matching scale (or explicit parameters) alongside a non-default
+// configuration.
+func WithConfig(cfg Config) Option { return scenario.WithConfig(cfg) }
+
+// WithCM1 runs the CM1 BSP application across all declared VMs, one rank
+// per VM in declaration order; p.Procs must equal the VM count.
+func WithCM1(p CM1Params) Option { return scenario.WithCM1(p) }
+
+// WithHorizon bounds the run at the given virtual time in seconds (default
+// 1e6). A scenario with pending work at the horizon fails with a
+// *DeadlineError instead of being truncated silently.
+func WithHorizon(t float64) Option { return scenario.WithHorizon(t) }
+
+// WithObserver subscribes an observer to the run's trace bus.
+func WithObserver(o Observer) Option { return scenario.WithObserver(o) }
+
+// WithSampleInterval enables periodic degradation samples (KindSample, one
+// per VM every d seconds) while migrations are in flight; it only takes
+// effect together with WithObserver.
+func WithSampleInterval(d float64) Option { return scenario.WithSampleInterval(d) }
+
+// WithSeedCapture records a hex-float determinism capture of the run into
+// Result.SeedCapture, rendering every measured float64 with %x so golden
+// tests can diff runs bit for bit.
+func WithSeedCapture() Option { return scenario.WithSeedCapture() }
