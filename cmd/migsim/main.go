@@ -11,7 +11,15 @@
 //	migsim [-approach our-approach|mirror|postcopy|precopy|pvfs-shared]
 //	       [-workload ior|asyncwr|none] [-scale small|paper] [-warmup s]
 //	       [-vms n] [-policy all-at-once|serial|batched-k|cycle-aware] [-k n]
+//	       [-crash-at s] [-retries n] [-retry-backoff s]
+//	       [-degrade-at s] [-degrade-dur s] [-degrade-factor f]
+//	       [-bg-rate MB/s] [-bg-stop s]
 //	       [-trace] [-json]
+//
+// Degraded-mode flags: -crash-at injects a destination crash into the first
+// VM's migration at the given time (give it a retry budget with -retries);
+// -degrade-* scales the destination node's NIC for a window; -bg-* runs
+// background cross traffic into the destination until -bg-stop.
 package main
 
 import (
@@ -33,7 +41,20 @@ func main() {
 	batchK := flag.Int("k", 2, "admission width for the batched-k and cycle-aware policies")
 	traceRun := flag.Bool("trace", false, "print the observer event stream while the scenario runs")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	crashAt := flag.Float64("crash-at", 0, "inject a destination crash into the first VM's migration at this time (0 = off)")
+	retries := flag.Int("retries", 3, "max migration attempts per VM when faults are injected")
+	retryBackoff := flag.Float64("retry-backoff", 1, "seconds before an aborted migration retries")
+	degradeAt := flag.Float64("degrade-at", 0, "degrade the destination node's NIC at this time (0 = off)")
+	degradeDur := flag.Float64("degrade-dur", 10, "degradation window in seconds")
+	degradeFactor := flag.Float64("degrade-factor", 0.25, "degraded NIC bandwidth as a fraction of nominal")
+	bgRate := flag.Float64("bg-rate", 0, "background cross-traffic pacing in MB/s into the destination (0 = off)")
+	bgStop := flag.Float64("bg-stop", 60, "background traffic stop time in seconds")
 	flag.Parse()
+	df := degradedFlags{
+		crashAt: *crashAt, retries: *retries, retryBackoff: *retryBackoff,
+		degradeAt: *degradeAt, degradeDur: *degradeDur, degradeFactor: *degradeFactor,
+		bgRate: *bgRate, bgStop: *bgStop,
+	}
 
 	var approach hybridmig.Approach
 	for _, a := range hybridmig.Approaches() {
@@ -64,10 +85,47 @@ func main() {
 			fmt.Fprintf(os.Stderr, "migsim: unknown policy %q\n", *policyName)
 			os.Exit(2)
 		}
-		runCampaign(scale, approach, *workloadName, *warmup, *vms, pol, *traceRun, *jsonOut)
+		runCampaign(scale, approach, *workloadName, *warmup, *vms, pol, *traceRun, *jsonOut,
+			df.options("vm00", *vms, *vms+(*vms+1)/2))
 		return
 	}
-	runSingle(scale, approach, *workloadName, *warmup, *traceRun, *jsonOut)
+	runSingle(scale, approach, *workloadName, *warmup, *traceRun, *jsonOut,
+		df.options("vm0", 1, 10))
+}
+
+// degradedFlags bundles the fault/traffic/retry flags.
+type degradedFlags struct {
+	crashAt, retryBackoff                float64
+	retries                              int
+	degradeAt, degradeDur, degradeFactor float64
+	bgRate, bgStop                       float64
+}
+
+// options translates the flags into scenario options targeting the first
+// VM's migration (firstVM migrates to dstNode in both modes); totalNodes
+// bounds the background-traffic source choice.
+func (d degradedFlags) options(firstVM string, dstNode, totalNodes int) []hybridmig.Option {
+	var opts []hybridmig.Option
+	var faults []hybridmig.FaultSpec
+	if d.crashAt > 0 {
+		faults = append(faults, hybridmig.FaultSpec{
+			Kind: hybridmig.FaultDestCrash, VM: firstVM, At: d.crashAt})
+	}
+	if d.degradeAt > 0 {
+		faults = append(faults, hybridmig.FaultSpec{
+			Kind: hybridmig.FaultLinkDegrade, Node: dstNode,
+			At: d.degradeAt, Duration: d.degradeDur, Factor: d.degradeFactor})
+	}
+	if len(faults) > 0 {
+		opts = append(opts, hybridmig.WithFaults(faults...),
+			hybridmig.WithRetry(hybridmig.RetrySpec{MaxAttempts: d.retries, Backoff: d.retryBackoff}))
+	}
+	if d.bgRate > 0 {
+		opts = append(opts, hybridmig.WithBackgroundTraffic(hybridmig.TrafficSpec{
+			Src: (dstNode + 1) % totalNodes, Dst: dstNode, Start: 0, Stop: d.bgStop,
+			Rate: d.bgRate * float64(1<<20)}))
+	}
+	return opts
 }
 
 // workloadSpec maps the -workload flag to a declarative spec using the
@@ -105,12 +163,13 @@ func fail(err error) {
 
 // runCampaign migrates a fleet of n VMs together under the policy, packing
 // two migrations per destination node as in the campaign experiment.
-func runCampaign(scale hybridmig.Scale, approach hybridmig.Approach, workloadName string, warmup float64, n int, pol hybridmig.Policy, traceRun, jsonOut bool) {
+func runCampaign(scale hybridmig.Scale, approach hybridmig.Approach, workloadName string, warmup float64, n int, pol hybridmig.Policy, traceRun, jsonOut bool, degraded []hybridmig.Option) {
 	set := hybridmig.SetupFor(scale, n+(n+1)/2)
 	if warmup >= 0 {
 		set.Warmup = warmup
 	}
-	s := hybridmig.NewScenario(append(traceOption(traceRun), hybridmig.WithConfig(set.Cluster))...)
+	opts := append(traceOption(traceRun), hybridmig.WithConfig(set.Cluster))
+	s := hybridmig.NewScenario(append(opts, degraded...)...)
 	steps := make([]hybridmig.Step, n)
 	for i := 0; i < n; i++ {
 		name := fmt.Sprintf("vm%02d", i)
@@ -141,6 +200,10 @@ func runCampaign(scale hybridmig.Scale, approach hybridmig.Approach, workloadNam
 	}
 	fmt.Printf("approach:  %s\n", approach)
 	fmt.Printf("workload:  %s (%s scale), %d VMs, policy %s\n\n", workloadName, scale, n, pol.Name())
+	if c.Retries > 0 || c.ExhaustedJobs > 0 {
+		fmt.Printf("faults:    %d retries, %d exhausted jobs, %.1f MB wasted\n\n",
+			c.Retries, c.ExhaustedJobs, c.WastedBytes/(1<<20))
+	}
 	fmt.Println(c.Summary())
 	if len(c.Traffic) > 0 {
 		fmt.Println("traffic during campaign:")
@@ -159,6 +222,9 @@ type singleReport struct {
 	DowntimeMS    float64                  `json:"downtime_ms"`
 	Rounds        int                      `json:"rounds"`
 	Converged     bool                     `json:"converged"`
+	Retries       int                      `json:"retries,omitempty"`
+	AbortedBytes  float64                  `json:"aborted_bytes,omitempty"`
+	Exhausted     bool                     `json:"exhausted,omitempty"`
 	MemoryBytes   float64                  `json:"memory_bytes"`
 	BlockBytes    float64                  `json:"block_bytes,omitempty"`
 	Core          hybridmig.CoreStats      `json:"core_stats"`
@@ -167,12 +233,13 @@ type singleReport struct {
 }
 
 // runSingle is the original one-VM scenario.
-func runSingle(scale hybridmig.Scale, approach hybridmig.Approach, workloadName string, warmup float64, traceRun, jsonOut bool) {
+func runSingle(scale hybridmig.Scale, approach hybridmig.Approach, workloadName string, warmup float64, traceRun, jsonOut bool, degraded []hybridmig.Option) {
 	set := hybridmig.SetupFor(scale, 10)
 	if warmup >= 0 {
 		set.Warmup = warmup
 	}
-	s := hybridmig.NewScenario(append(traceOption(traceRun), hybridmig.WithConfig(set.Cluster))...).
+	opts := append(traceOption(traceRun), hybridmig.WithConfig(set.Cluster))
+	s := hybridmig.NewScenario(append(opts, degraded...)...).
 		AddVM(hybridmig.VMSpec{Name: "vm0", Node: 0, Approach: approach,
 			Workload: workloadSpec(set, workloadName)}).
 		MigrateAt("vm0", 1, set.Warmup)
@@ -191,6 +258,9 @@ func runSingle(scale hybridmig.Scale, approach hybridmig.Approach, workloadName 
 			DowntimeMS:    vm.Downtime * 1000,
 			Rounds:        vm.Rounds,
 			Converged:     vm.Converged,
+			Retries:       vm.Retries,
+			AbortedBytes:  vm.AbortedBytes,
+			Exhausted:     vm.Exhausted,
 			MemoryBytes:   vm.MemoryBytes,
 			BlockBytes:    vm.BlockBytes,
 			Core:          vm.Core,
@@ -208,6 +278,10 @@ func runSingle(scale hybridmig.Scale, approach hybridmig.Approach, workloadName 
 	fmt.Printf("workload:        %s (%s scale)\n", workloadName, scale)
 	fmt.Printf("migration time:  %.2f s\n", vm.MigrationTime)
 	fmt.Printf("downtime:        %.0f ms\n", vm.Downtime*1000)
+	if vm.Aborts > 0 || vm.Exhausted {
+		fmt.Printf("faults:          %d aborted attempts, %d retries, %.1f MB wasted (exhausted=%v)\n",
+			vm.Aborts, vm.Retries, vm.AbortedBytes/(1<<20), vm.Exhausted)
+	}
 	fmt.Printf("memory moved:    %.1f MB in %d rounds (converged=%v)\n",
 		vm.MemoryBytes/(1<<20), vm.Rounds, vm.Converged)
 	if vm.BlockBytes > 0 {

@@ -1,0 +1,74 @@
+// Faults: the degraded-mode tour. One IOR VM migrates while the cluster
+// misbehaves — background tenant traffic competes for the destination NIC,
+// the destination's link degrades mid-transfer, and then the destination
+// node crashes outright, aborting the migration. A bounded retry budget
+// brings the migration home on the second attempt, and the observer stream
+// shows every fault, abort, and retry as it happens.
+//
+// Run with: go run ./examples/faults
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hybridmig "github.com/hybridmig/hybridmig"
+)
+
+func main() {
+	set := hybridmig.SetupFor(hybridmig.ScaleSmall, 4)
+	ior := set.IOR
+
+	s := hybridmig.NewScenario(
+		hybridmig.WithConfig(set.Cluster),
+		// Another tenant hammers the destination's NIC for the first
+		// minute of the run.
+		hybridmig.WithBackgroundTraffic(hybridmig.TrafficSpec{
+			Src: 2, Dst: 1, Start: 0, Stop: 60, Rate: 30 << 20,
+		}),
+		// The destination NIC degrades to 40% right as the migration
+		// starts, and the node crashes 1.5 s in.
+		hybridmig.WithFaults(
+			hybridmig.FaultSpec{Kind: hybridmig.FaultLinkDegrade,
+				Node: 1, At: set.Warmup, Factor: 0.4, Duration: 6},
+			hybridmig.FaultSpec{Kind: hybridmig.FaultDestCrash,
+				VM: "vm0", At: set.Warmup + 1.5},
+		),
+		// Three attempts with a one-second backoff, doubling each time.
+		hybridmig.WithRetry(hybridmig.RetrySpec{MaxAttempts: 3, Backoff: 1, Factor: 2}),
+		// Watch the fault lifecycle live.
+		hybridmig.WithObserver(hybridmig.ObserverFunc(func(e hybridmig.Event) {
+			switch e.Kind {
+			case hybridmig.KindFaultInjected, hybridmig.KindMigrationAborted,
+				hybridmig.KindMigrationRetried, hybridmig.KindLinkCapacity,
+				hybridmig.KindMigrationCompleted:
+				fmt.Println("  ", e)
+			}
+		})),
+	).
+		AddVM(hybridmig.VMSpec{
+			Name:     "vm0",
+			Node:     0,
+			Approach: hybridmig.OurApproach,
+			Workload: hybridmig.IOR(&ior),
+		}).
+		MigrateAt("vm0", 1, set.Warmup)
+
+	fmt.Println("fault timeline:")
+	res, err := s.Run()
+	if err != nil {
+		log.Fatalf("faults: %v", err)
+	}
+
+	vm := res.VM("vm0")
+	fmt.Println()
+	fmt.Printf("migrated:        %v (node%d)\n", vm.Migrated, vm.Node)
+	fmt.Printf("attempts:        %d (%d aborted, %d retries)\n",
+		vm.Aborts+1, vm.Aborts, vm.Retries)
+	fmt.Printf("wasted traffic:  %.1f MB thrown away by the aborted attempt\n",
+		vm.AbortedBytes/(1<<20))
+	fmt.Printf("migration time:  %.2f s for the attempt that stuck\n", vm.MigrationTime)
+	fmt.Printf("downtime:        %.0f ms\n", vm.Downtime*1000)
+	fmt.Printf("background:      %.1f MB of tenant cross traffic shared the fabric\n",
+		res.Traffic["background"]/(1<<20))
+}

@@ -145,10 +145,12 @@ func TestPublicAPIErrors(t *testing.T) {
 		t.Fatalf("empty scenario error %v does not wrap ErrInvalidScenario", err)
 	}
 
+	// The trigger must sit inside the horizon (a trigger past it is a
+	// validation error); the migration then overruns the 0.5 s budget.
 	s := hybridmig.NewScenario(hybridmig.WithNodes(4), hybridmig.WithHorizon(0.5)).
 		AddVM(hybridmig.VMSpec{Name: "vm0", Node: 0, Approach: hybridmig.OurApproach,
 			Workload: hybridmig.Rewrite(nil)}).
-		MigrateAt("vm0", 1, 2)
+		MigrateAt("vm0", 1, 0.25)
 	_, err = s.Run()
 	var de *hybridmig.DeadlineError
 	if !errors.As(err, &de) {

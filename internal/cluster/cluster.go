@@ -7,6 +7,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/hybridmig/hybridmig/internal/blob"
@@ -200,6 +201,14 @@ type Instance struct {
 	HVResult      hv.Result
 	CoreStats     core.Stats
 	Done          sim.Gate
+
+	// Fault/retry accounting, cumulative across attempts.
+	Attempts     int     // migration attempts, aborted ones included
+	Aborts       int     // attempts torn down by injected faults
+	AbortedBytes float64 // wire bytes wasted by aborted attempts
+	Exhausted    bool    // a retry budget ran out without completing
+
+	abort *hv.Abort // in-flight attempt's cancellation handle, nil when idle
 }
 
 // managerOptions derives core options from the config.
@@ -285,13 +294,25 @@ func (tb *Testbed) Launch(name string, nodeIdx int, approach Approach) *Instance
 // Instances returns all deployed instances.
 func (tb *Testbed) Instances() []*Instance { return tb.instances }
 
+// ErrMigrationAborted is returned by MigrateInstance when an injected fault
+// tore the attempt down. The instance keeps running at the source and may be
+// retried with a fresh MigrateInstance call.
+var ErrMigrationAborted = errors.New("cluster: migration aborted by injected fault")
+
 // MigrateInstance live-migrates inst to the node at dstIdx, blocking until
 // the migration fully completes per the approach's own definition of
 // migration time (Section 5.2): control transfer for precopy, mirror and
-// pvfs-shared; source release for our-approach and postcopy.
-func (tb *Testbed) MigrateInstance(p *sim.Proc, inst *Instance, dstIdx int) {
+// pvfs-shared; source release for our-approach and postcopy. When a fault
+// aborts the attempt (see AbortMigration) it returns ErrMigrationAborted
+// with the VM live at the source and the wasted traffic accumulated on the
+// instance.
+func (tb *Testbed) MigrateInstance(p *sim.Proc, inst *Instance, dstIdx int) error {
 	dst := tb.Cl.Nodes[dstIdx]
+	src := inst.VM.Node
 	start := tb.Eng.Now()
+	inst.Attempts++
+	inst.abort = hv.NewAbort(tb.Cl.Net)
+	defer func() { inst.abort = nil }()
 	if tb.bus.Active() {
 		tb.bus.Emit(trace.Event{Time: start, Kind: trace.KindMigrationRequested,
 			VM: inst.Name, Detail: string(inst.Approach), Value: float64(dst.ID)})
@@ -301,6 +322,7 @@ func (tb *Testbed) MigrateInstance(p *sim.Proc, inst *Instance, dstIdx int) {
 	// performance" is precisely this resource consumption).
 	inst.VM.SetCPUSteal(tb.Cfg.HV.CPUSteal)
 	defer inst.VM.SetCPUSteal(0)
+	aborted := false
 	switch inst.Approach {
 	case OurApproach, Postcopy, Mirror:
 		inst.Core.MigrationRequest(dst)
@@ -308,12 +330,29 @@ func (tb *Testbed) MigrateInstance(p *sim.Proc, inst *Instance, dstIdx int) {
 		if inst.Approach == Mirror {
 			stopGate = inst.Core.BulkDoneGate()
 		}
-		inst.HVResult = hv.MigrateTraced(p, tb.Cl, inst.VM, dst, tb.Cfg.HV, nil, stopGate, tb.bus)
+		inst.HVResult = hv.MigrateAbortable(p, tb.Cl, inst.VM, dst, tb.Cfg.HV, nil, stopGate, tb.bus, inst.abort)
+		if inst.HVResult.Aborted {
+			// Fault before control transfer: the VM never left the source
+			// and the manager (aborted by the same fault) already rolled
+			// its storage state back.
+			aborted = true
+			break
+		}
 		// The destination host cache starts cold except for the content the
 		// migration itself moved through its RAM.
 		inst.Guest.Cache.Invalidate()
 		inst.Core.ForEachLocalRange(inst.Guest.Cache.MarkCachedRange)
 		inst.Core.WaitComplete(p)
+		if !inst.Core.Complete() {
+			// Fault during the pull phase: the destination crashed after
+			// going live. Storage control fell back to the intact source
+			// replica; the VM restarts there from its source-side state.
+			aborted = true
+			inst.VM.MoveTo(src)
+			inst.Guest.Cache.Invalidate()
+			inst.Core.ForEachLocalRange(inst.Guest.Cache.MarkCachedRange)
+			break
+		}
 		inst.CoreStats = inst.Core.Stats()
 		if inst.Approach == Mirror {
 			inst.MigrationTime = inst.HVResult.ControlTransfer - start
@@ -328,15 +367,36 @@ func (tb *Testbed) MigrateInstance(p *sim.Proc, inst *Instance, dstIdx int) {
 			inst.MigrationTime = end - start
 		}
 	case Precopy:
-		inst.HVResult = hv.MigrateTraced(p, tb.Cl, inst.VM, dst, tb.Cfg.HV, inst.COW, nil, tb.bus)
+		inst.HVResult = hv.MigrateAbortable(p, tb.Cl, inst.VM, dst, tb.Cfg.HV, inst.COW, nil, tb.bus, inst.abort)
+		if inst.HVResult.Aborted {
+			aborted = true
+			break
+		}
 		inst.COW.MoveTo(dst)
 		inst.Guest.Cache.Invalidate()
 		inst.COW.ForEachLocalRange(inst.Guest.Cache.MarkCachedRange)
 		inst.MigrationTime = inst.HVResult.ControlTransfer - start
 	case PVFSShared:
-		inst.HVResult = hv.MigrateTraced(p, tb.Cl, inst.VM, dst, tb.Cfg.HV, nil, nil, tb.bus)
+		inst.HVResult = hv.MigrateAbortable(p, tb.Cl, inst.VM, dst, tb.Cfg.HV, nil, nil, tb.bus, inst.abort)
+		if inst.HVResult.Aborted {
+			aborted = true
+			break
+		}
 		inst.sharedImg.MoveTo(dst)
 		inst.MigrationTime = inst.HVResult.ControlTransfer - start
+	}
+	if aborted {
+		inst.Aborts++
+		wasted := inst.HVResult.MemoryBytes + inst.HVResult.BlockBytes
+		if inst.Core != nil {
+			wasted += inst.Core.Stats().WireBytes()
+		}
+		inst.AbortedBytes += wasted
+		if tb.bus.Active() {
+			tb.bus.Emit(trace.Event{Time: tb.Eng.Now(), Kind: trace.KindMigrationAborted,
+				VM: inst.Name, Detail: string(inst.Approach), Value: wasted})
+		}
+		return ErrMigrationAborted
 	}
 	inst.Migrated = true
 	if tb.bus.Active() {
@@ -344,6 +404,32 @@ func (tb *Testbed) MigrateInstance(p *sim.Proc, inst *Instance, dstIdx int) {
 			VM: inst.Name, Detail: string(inst.Approach), Value: inst.MigrationTime})
 	}
 	inst.Done.Open(tb.Eng)
+	return nil
+}
+
+// AbortMigration injects a fault into inst's in-flight migration: the
+// storage manager rolls back (destination state released, I/O control kept
+// at or returned to the source) and the hypervisor transfer unwinds. Reports
+// whether a migration was actually in flight to abort.
+//
+// For manager-backed approaches the storage migration is the point of no
+// return: once the manager has fully completed (source released), aborting
+// only the final memory copy would strand storage at the destination while
+// the VM restarts at the source, so a fault landing in that tail is "too
+// late" and the migration is allowed to finish.
+func (tb *Testbed) AbortMigration(inst *Instance, reason string) bool {
+	if inst.abort == nil || inst.abort.Aborted() {
+		return false // no attempt in flight (or this one is already dying)
+	}
+	if inst.Core != nil {
+		if !inst.Core.Abort(reason) {
+			return false // storage not abortable: idle or already complete
+		}
+		inst.abort.Trigger()
+		return true
+	}
+	inst.abort.Trigger()
+	return true
 }
 
 // MigrationRequest names one migration of a campaign: an instance and the
@@ -371,17 +457,32 @@ func (tb *Testbed) LowIO(inst *Instance) bool {
 // stats. Requests are admitted in slice order; identical inputs yield
 // identical campaigns (the simulation stays deterministic).
 func (tb *Testbed) MigrateAll(p *sim.Proc, reqs []MigrationRequest, pol sched.Policy) *metrics.Campaign {
+	return tb.MigrateAllRetry(p, reqs, pol, sched.Retry{})
+}
+
+// MigrateAllRetry is MigrateAll with a retry budget: fault-aborted
+// migrations back off and rejoin the admission queue until they complete or
+// exhaust retry.MaxAttempts. Instances whose budget runs out are marked
+// Exhausted and left running at their source.
+func (tb *Testbed) MigrateAllRetry(p *sim.Proc, reqs []MigrationRequest, pol sched.Policy, retry sched.Retry) *metrics.Campaign {
 	jobs := make([]sched.Job, len(reqs))
 	for i, r := range reqs {
 		r := r
 		jobs[i] = sched.Job{
 			Name:     r.Inst.Name,
-			Run:      func(jp *sim.Proc) { tb.MigrateInstance(jp, r.Inst, r.DstIdx) },
+			Run:      func(jp *sim.Proc) error { return tb.MigrateInstance(jp, r.Inst, r.DstIdx) },
 			LowIO:    func() bool { return tb.LowIO(r.Inst) },
 			Downtime: func() float64 { return r.Inst.HVResult.Downtime },
+			Wasted:   func() float64 { return r.Inst.AbortedBytes },
 		}
 	}
 	o := sched.New(tb.Eng, tb.Cl.Net)
 	o.Trace = tb.bus
-	return o.Run(p, jobs, pol)
+	c := o.RunRetry(p, jobs, pol, retry)
+	for i, st := range c.JobStats {
+		if st.Exhausted {
+			reqs[i].Inst.Exhausted = true
+		}
+	}
+	return c
 }

@@ -149,6 +149,23 @@ type Stats struct {
 	SkippedHot     int // chunks left to the pull phase by the threshold
 	DedupHits      int
 	CanceledPushes int // chunks whose in-flight push was aborted by sync
+	// CanceledPushBytes is the wire traffic of the push batch that the
+	// control transfer canceled mid-flight (its data is discarded and the
+	// chunks return to the pull queue) — overhead inherent to the scheme.
+	CanceledPushBytes float64
+
+	// Fault-injection outcome of this attempt (see Image.Abort).
+	Aborted          bool    // the attempt was torn down by a fault
+	AbortedWireBytes float64 // bytes moved by transfers canceled at abort time
+}
+
+// WireBytes returns every storage byte this attempt put on the wire: the
+// completed push/pull/mirror payloads, the sync-canceled push partials, and
+// the settled part of transfers a fault canceled mid-flight. For an aborted
+// attempt all of it is wasted traffic.
+func (s Stats) WireBytes() float64 {
+	return s.PushedBytes + s.PulledBytes + s.OnDemandBytes + s.MirroredBytes +
+		s.CanceledPushBytes + s.AbortedWireBytes
 }
 
 // side is the manager state on one node.
@@ -203,7 +220,6 @@ type Image struct {
 	pushAborted bool
 	pushFlow    *flow.Flow
 	pushBatch   []chunk.Idx
-	pushProcUp  bool
 	syncSeen    bool
 
 	// Destination-phase state (Algorithms 3 and 4).
@@ -217,6 +233,15 @@ type Image struct {
 	// Mirror-phase state.
 	bulkDone     sim.Gate
 	mirrorActive bool
+
+	// Abort state. migEpoch is bumped by MigrationRequest and Abort; every
+	// blocking migration step captures it first and bails out afterwards if
+	// it moved, so processes of a torn-down attempt can never touch the state
+	// of a later one. xferFlows tracks the in-flight pull/bulk/mirror
+	// transfers (the push flow has its own handle) so Abort can cancel them
+	// in registration order, deterministically.
+	migEpoch  uint64
+	xferFlows []*flow.Flow
 
 	// Write draining for a clean sync.
 	activeWrites sim.WaitGroup
@@ -444,6 +469,7 @@ func (im *Image) Write(p *sim.Proc, off, length int64) {
 		}
 	}
 	var mirrorFlow *flow.Flow
+	epoch := im.migEpoch
 	if im.mirrorActive && im.isMigratingSource() {
 		// Synchronous mirroring: the write travels to the destination in
 		// parallel with the local write and must complete there before we
@@ -451,6 +477,7 @@ func (im *Image) Write(p *sim.Proc, off, length int64) {
 		mirrorFlow = im.cl.TransferFlowPath(
 			im.cl.NetPath(side.node, im.dstNode),
 			float64(length), flow.TagMirror, nil)
+		im.registerFlow(mirrorFlow)
 	}
 	// The write lands in the manager's backing store (host-cached file).
 	im.store(p, off, length)
@@ -478,6 +505,10 @@ func (im *Image) Write(p *sim.Proc, off, length int64) {
 	}
 	if mirrorFlow != nil {
 		mirrorFlow.Wait(p)
+		im.unregisterFlow(mirrorFlow)
+		if im.migEpoch != epoch {
+			return // aborted mid-mirror: the destination copy is gone
+		}
 		im.stats.MirroredBytes += float64(length)
 		// Mirrored content is now identical at the destination.
 		for c := first; c <= last; c++ {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 
 	"github.com/hybridmig/hybridmig/internal/chunk"
 	"github.com/hybridmig/hybridmig/internal/fabric"
@@ -31,6 +32,7 @@ func (im *Image) MigrationRequest(dstNode *fabric.Node) {
 		panic(fmt.Sprintf("core: %s: migration requested while one is active", im.name))
 	}
 	n := im.geo.Chunks()
+	im.migEpoch++
 	im.dstNode = dstNode
 	im.dst = newSide(dstNode, n)
 	im.remaining = im.cur.modified.Clone()
@@ -38,11 +40,16 @@ func (im *Image) MigrationRequest(dstNode *fabric.Node) {
 	im.state = stPushing
 	im.syncSeen = false
 	im.pushAborted = false
+	im.pushFlow = nil
+	im.pushBatch = nil
 	im.released = sim.Gate{}
 	im.bulkDone = sim.Gate{}
 	im.inFlight = chunk.NewSet(n)
 	im.dstFresh = chunk.NewSet(n)
 	im.known = make(map[uint64]bool)
+	im.pullsActive = 0
+	im.pullSuspend = 0
+	im.xferFlows = im.xferFlows[:0]
 	im.stats = Stats{RequestedAt: im.eng.Now()}
 
 	switch im.opts.Mode {
@@ -62,12 +69,11 @@ func (im *Image) MigrationRequest(dstNode *fabric.Node) {
 
 // startPush launches the BACKGROUND PUSH task of Algorithm 1.
 func (im *Image) startPush() {
-	im.pushProcUp = true
+	epoch := im.migEpoch
 	im.eng.Go(im.name+"/push", func(p *sim.Proc) {
-		defer func() { im.pushProcUp = false }()
 		src := im.cur
 		cursor := chunk.Idx(0)
-		for !im.syncSeen {
+		for !im.syncSeen && im.migEpoch == epoch {
 			batch := im.nextPushBatch(&cursor)
 			if len(batch) == 0 {
 				if im.eligiblePushExists() {
@@ -86,10 +92,20 @@ func (im *Image) startPush() {
 				snapshot[i] = src.content[c]
 			}
 			wire := im.wireBytes(p, batch, snapshot)
+			if im.migEpoch != epoch {
+				return // aborted while charging compression time
+			}
 			im.pushBatch = batch
 			im.pushFlow = im.cl.TransferFlowPath(
 				im.streamPath(src.node, im.dstNode), wire, flow.TagStoragePush, nil)
 			im.pushFlow.Wait(p)
+			if im.migEpoch != epoch {
+				// Aborted — and possibly already re-requested, in which case
+				// the new attempt owns pushFlow/pushBatch/pushAborted and a
+				// stale process must touch nothing (Abort charged the wire
+				// bytes; installing the batch would corrupt the retry).
+				return
+			}
 			aborted := im.pushAborted
 			im.pushFlow = nil
 			im.pushBatch = nil
@@ -145,11 +161,12 @@ func (im *Image) eligiblePushExists() bool {
 // startBulkCopy launches the mirror baseline's background full copy of the
 // current modified set.
 func (im *Image) startBulkCopy() {
+	epoch := im.migEpoch
 	im.eng.Go(im.name+"/bulk", func(p *sim.Proc) {
 		src := im.cur
 		todo := im.remaining // snapshot of modified chunks at request time
 		cursor := chunk.Idx(0)
-		for {
+		for im.migEpoch == epoch {
 			// The mirror baseline's bulk copy is a sequence of synchronous
 			// remote writes (each acknowledged), not a stream: it pays the
 			// same per-request overhead as pulls.
@@ -167,7 +184,12 @@ func (im *Image) startBulkCopy() {
 			}
 			wire := im.wireBytes(p, batch, snapshot)
 			p.Sleep(im.opts.PullRequestLatency + 2*im.cl.P.NetLatency)
-			im.cl.Net.Transfer(p, im.streamPath(src.node, im.dstNode), wire, flow.TagMirror)
+			if im.migEpoch != epoch {
+				return // aborted during the request round trip
+			}
+			if !im.trackedTransfer(p, epoch, im.streamPath(src.node, im.dstNode), wire, flow.TagMirror) {
+				return // aborted mid-transfer: nothing installed
+			}
 			im.stats.MirroredBytes += wire
 			for i, c := range batch {
 				im.installAtDest(c, snapshot[i])
@@ -245,6 +267,7 @@ func (im *Image) Sync(p *sim.Proc) {
 		}
 		return
 	}
+	epoch := im.migEpoch
 	im.syncSeen = true
 	// Drain guest writes already in flight (the VM is paused; no new ones).
 	// The backing store is NOT flushed here: the manager tracks every write
@@ -253,21 +276,32 @@ func (im *Image) Sync(p *sim.Proc) {
 	// paper's manager likewise acknowledges the hypervisor's sync without
 	// draining the disk).
 	im.activeWrites.Wait(p)
+	if im.migEpoch != epoch {
+		return // aborted during the drain: no control transfer
+	}
 
 	if im.mirrorActive {
 		// Mirror semantics: control transfer requires full synchronization.
 		im.bulkDone.Wait(p)
 		im.cl.ControlRTT(p)
+		if im.migEpoch != epoch {
+			return
+		}
 		im.finishMirror()
 		return
 	}
 
 	// Abort the in-flight push batch, if any: its chunks go back to the
 	// remaining set (partial batch data is discarded — correctness comes
-	// from the pull phase).
+	// from the pull phase; the bytes already on the wire are accounted as
+	// canceled-push overhead).
 	if im.pushFlow != nil {
 		im.pushAborted = true
-		im.cl.Net.Cancel(im.pushFlow)
+		var rem float64
+		if !im.pushFlow.Done() {
+			rem = im.cl.Net.Cancel(im.pushFlow)
+		}
+		im.stats.CanceledPushBytes += im.pushFlow.Size - rem
 		for _, c := range im.pushBatch {
 			im.remaining.Add(c)
 			im.stats.CanceledPushes++
@@ -286,6 +320,9 @@ func (im *Image) Sync(p *sim.Proc) {
 	// TRANSFER IO CONTROL: ship the remaining set, write counts, and the
 	// hot-base-content hints to the destination.
 	im.cl.ControlRTT(p)
+	if im.migEpoch != epoch {
+		return // aborted during the control round trip
+	}
 	im.transferIOControl()
 }
 
@@ -343,10 +380,14 @@ func (im *Image) promoteDest() {
 // startPull launches BACKGROUND PULL (Algorithm 3): prefetch remaining
 // chunks in decreasing write-count order, batching for streaming.
 func (im *Image) startPull() {
+	epoch := im.migEpoch
 	im.eng.Go(im.name+"/pull", func(p *sim.Proc) {
 		for {
 			for im.pullSuspend > 0 {
 				im.pullResume.Wait(p)
+				if im.migEpoch != epoch {
+					return
+				}
 			}
 			first := im.pullQueue.Pop()
 			if first < 0 {
@@ -361,14 +402,20 @@ func (im *Image) startPull() {
 				batch = append(batch, c)
 			}
 			im.pullChunks(p, batch, false)
+			if im.migEpoch != epoch {
+				return
+			}
 		}
 		im.maybeComplete()
 	})
 }
 
 // pullChunks transfers a set of remaining chunks from the relinquished
-// source. onDemand marks priority pulls triggered by guest I/O.
+// source. onDemand marks priority pulls triggered by guest I/O. On abort it
+// returns with the attempt's state untouched (the caller re-checks the
+// migration epoch).
 func (im *Image) pullChunks(p *sim.Proc, batch []chunk.Idx, onDemand bool) {
+	epoch := im.migEpoch
 	src := im.old
 	gate := &sim.Gate{}
 	for _, c := range batch {
@@ -385,7 +432,12 @@ func (im *Image) pullChunks(p *sim.Proc, batch []chunk.Idx, onDemand bool) {
 	// Pulls are request/response: each pays service latency at the source
 	// in addition to the network round trip, unlike the streaming push.
 	p.Sleep(im.opts.PullRequestLatency + 2*im.cl.P.NetLatency)
-	im.cl.Net.Transfer(p, im.streamPath(src.node, im.cur.node), wire, flow.TagStoragePull)
+	if im.migEpoch != epoch {
+		return // aborted during the request round trip
+	}
+	if !im.trackedTransfer(p, epoch, im.streamPath(src.node, im.cur.node), wire, flow.TagStoragePull) {
+		return // aborted mid-transfer: nothing installed
+	}
 	im.pullsActive--
 	if onDemand {
 		im.stats.OnDemandBytes += wire
@@ -414,7 +466,8 @@ func (im *Image) pullChunks(p *sim.Proc, batch []chunk.Idx, onDemand bool) {
 // (Algorithm 4): suspend the background prefetcher, pull with priority,
 // resume. Chunks already in flight are awaited instead of re-pulled.
 func (im *Image) onDemandPull(p *sim.Proc, first, last chunk.Idx) {
-	for {
+	epoch := im.migEpoch
+	for im.migEpoch == epoch && im.isDest() {
 		var need []chunk.Idx
 		var awaitGate *sim.Gate
 		for c := first; c <= last; c++ {
@@ -431,6 +484,9 @@ func (im *Image) onDemandPull(p *sim.Proc, first, last chunk.Idx) {
 		if len(need) > 0 {
 			im.pullSuspend++
 			im.pullChunks(p, need, true)
+			if im.migEpoch != epoch {
+				return // aborted: the fallback source serves the access
+			}
 			im.pullSuspend--
 			im.pullResume.Broadcast(im.eng)
 			continue // re-check: writes may have raced
@@ -443,9 +499,10 @@ func (im *Image) onDemandPull(p *sim.Proc, first, last chunk.Idx) {
 // the background (never from the source), rate-capped so it does not starve
 // the pulls.
 func (im *Image) startBasePrefetch(hints []chunk.Idx) {
+	epoch := im.migEpoch
 	im.eng.Go(im.name+"/baseprefetch", func(p *sim.Proc) {
 		dest := im.cur
-		for i := 0; i < len(hints); {
+		for i := 0; i < len(hints) && im.migEpoch == epoch; {
 			// Coalesce a contiguous run of hinted chunks.
 			j := i
 			for j+1 < len(hints) && hints[j+1] == hints[j]+1 {
@@ -467,6 +524,9 @@ func (im *Image) startBasePrefetch(hints []chunk.Idx) {
 			im.base.ReadRangeAsync(dest.node, r1.Off, length, im.opts.BasePrefetchRate,
 				func() { done.Open(im.eng) })
 			done.Wait(p)
+			if im.migEpoch != epoch {
+				return // aborted: the crashed destination discards the prefetch
+			}
 			im.stats.PrefetchBytes += float64(length)
 			for c := first; c <= last; c++ {
 				if !dest.modified.Contains(c) {
@@ -492,6 +552,146 @@ func (im *Image) maybeComplete() {
 	im.old = nil
 	im.emitPhase("released")
 	im.released.Open(im.eng)
+}
+
+// registerFlow tracks an in-flight migration transfer so Abort can cancel
+// it. Registration order is the deterministic cancel order.
+func (im *Image) registerFlow(f *flow.Flow) {
+	im.xferFlows = append(im.xferFlows, f)
+}
+
+// unregisterFlow drops a transfer from the abort set. Absent flows (already
+// swept by an abort) are a no-op.
+func (im *Image) unregisterFlow(f *flow.Flow) {
+	for i, g := range im.xferFlows {
+		if g == f {
+			im.xferFlows = append(im.xferFlows[:i], im.xferFlows[i+1:]...)
+			return
+		}
+	}
+}
+
+// trackedTransfer runs one abortable migration transfer: start the flow,
+// register it for Abort, wait, unregister. It reports whether the attempt
+// that issued it is still live — false means a fault tore the attempt down
+// mid-transfer (the abort already charged the wire bytes) and the caller
+// must touch no further attempt state.
+func (im *Image) trackedTransfer(p *sim.Proc, epoch uint64, links []*flow.Link, size float64, tag flow.Tag) bool {
+	f := &flow.Flow{Links: links, Size: size, Tag: tag}
+	im.cl.Net.Start(f)
+	im.registerFlow(f)
+	f.Wait(p)
+	im.unregisterFlow(f)
+	return im.migEpoch == epoch
+}
+
+// cancelXfers cancels every registered in-flight transfer in registration
+// order, charging the bytes each moved to the attempt's wasted counter. A
+// registered flow is exactly one whose waiting process has not yet resumed
+// and accounted it: flows still on the wire are canceled and charged for
+// their settled part; flows that completed in this very instant (the process
+// wake-up was queued behind the abort) are charged in full — the epoch guard
+// will stop the process from installing or double-counting them.
+func (im *Image) cancelXfers() {
+	flows := im.xferFlows
+	im.xferFlows = nil
+	for _, f := range flows {
+		var rem float64
+		if !f.Done() {
+			rem = im.cl.Net.Cancel(f)
+		}
+		im.stats.AbortedWireBytes += f.Size - rem
+	}
+}
+
+// Abort tears down the in-flight migration after an injected fault (a
+// destination-node crash, a link blackout that makes completion hopeless, an
+// exceeded deadline). Every in-flight push/pull/bulk/mirror transfer is
+// canceled, destination-side state is released, and I/O control stays at —
+// or falls back to — the source replica, which a migration never gives up
+// before full completion (the scheme's own safety property: the source holds
+// everything until RELEASED). Destination writes made after control transfer
+// are lost with the crashed destination, exactly as a real crash loses them.
+// Stats for the attempt remain readable (Aborted, wasted wire bytes); a
+// subsequent MigrationRequest starts a clean retry. Returns false when no
+// migration is in flight.
+//
+// Abort runs synchronously (engine or process context): it schedules no
+// work of its own, only cancels, so a retry can be requested immediately.
+func (im *Image) Abort(reason string) bool {
+	if im.state == stIdle {
+		return false
+	}
+	fromState := im.state
+	im.migEpoch++ // every parked attempt process bails at its next step
+	im.stats.Aborted = true
+
+	// Cancel the in-flight push batch, if any (hybrid source phase). A push
+	// already canceled by a racing Sync was charged there; a flow that
+	// completed but whose process has not resumed is charged in full.
+	if im.pushFlow != nil && !im.pushAborted {
+		im.pushAborted = true
+		var rem float64
+		if !im.pushFlow.Done() {
+			rem = im.cl.Net.Cancel(im.pushFlow)
+		}
+		im.stats.AbortedWireBytes += im.pushFlow.Size - rem
+		for range im.pushBatch {
+			im.stats.CanceledPushes++
+		}
+	}
+	im.pushCond.Broadcast(im.eng)
+	im.cancelXfers()
+
+	if fromState == stPulling {
+		// Destination crash after control transfer: fall back to the source
+		// side, which still holds every chunk the destination had not yet
+		// pulled plus everything it ever pushed.
+		im.cur = im.old
+		// Release guest accesses parked on pull-arrival gates; they re-check
+		// the (now idle) state and proceed against the source replica.
+		gates := make([]*sim.Gate, 0, len(im.pullGates))
+		idxs := make([]chunk.Idx, 0, len(im.pullGates))
+		for c := range im.pullGates {
+			idxs = append(idxs, c)
+		}
+		slices.Sort(idxs) // map order is not deterministic; wake in chunk order
+		seen := map[*sim.Gate]bool{}
+		for _, c := range idxs {
+			if g := im.pullGates[c]; !seen[g] {
+				seen[g] = true
+				gates = append(gates, g)
+			}
+		}
+		for _, g := range gates {
+			g.Open(im.eng)
+		}
+	}
+	im.pullSuspend = 0
+	im.pullsActive = 0
+	im.pullResume.Broadcast(im.eng)
+	// A mirror-mode hypervisor may be parked on the bulk gate; open it so it
+	// wakes and observes the abort.
+	im.bulkDone.Open(im.eng)
+	im.mirrorActive = false
+
+	im.state = stIdle
+	im.old = nil
+	im.dst = nil
+	im.dstNode = nil
+	im.remaining = nil
+	im.inFlight = nil
+	im.pullQueue = nil
+	im.pullGates = nil
+	im.writeCount = nil
+	im.dstFresh = nil
+
+	// The manager-level view of the abort is a phase transition; the
+	// middleware publishes the aggregate trace.KindMigrationAborted event.
+	im.emitPhase("aborted:" + reason)
+	// Wake WaitComplete callers; Complete() stays false for the attempt.
+	im.released.Open(im.eng)
+	return true
 }
 
 // BulkDoneGate returns the gate that opens when the mirror bulk copy has

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/hybridmig/hybridmig/internal/scenario"
+)
+
+// faultGoldenScenario is the pinned degraded-mode run: one IOR VM at small
+// scale whose migration is killed by a destination crash mid-flight under a
+// fabric degradation and background cross traffic, then completed by a
+// retry. Every float of its Result is captured in hex, so any refactor of
+// the reflow/abort/retry paths that shifts a single event or byte shows up
+// as a bit-level diff — the same contract the PR 2 goldens pin for the
+// fault-free kernel.
+func faultGoldenScenario() *scenario.Scenario {
+	set := scenario.NewSetup(scenario.ScaleSmall, 4)
+	return scenario.New(
+		scenario.WithConfig(set.Cluster),
+		scenario.WithSeedCapture(),
+		scenario.WithRetry(scenario.RetrySpec{MaxAttempts: 3, Backoff: 1, Factor: 2}),
+		scenario.WithBackgroundTraffic(scenario.TrafficSpec{
+			Src: 2, Dst: 1, Start: 0, Stop: 40, Rate: 30e6,
+		}),
+		scenario.WithFaults(
+			scenario.FaultSpec{Kind: scenario.FaultLinkDegrade,
+				Node: 1, At: set.Warmup, Factor: 0.4, Duration: 6},
+			scenario.FaultSpec{Kind: scenario.FaultDestCrash,
+				VM: "vm0", At: set.Warmup + 1.5},
+		),
+	).
+		AddVM(scenario.VMSpec{Name: "vm0", Node: 0,
+			Approach: "our-approach", Workload: scenario.IOR(&set.IOR)}).
+		MigrateAt("vm0", 1, set.Warmup)
+}
+
+// TestGoldenDeterminismFault pins the fault scenario's hex-float capture
+// bit for bit (regenerate with -update after intentional changes).
+func TestGoldenDeterminismFault(t *testing.T) {
+	res, err := faultGoldenScenario().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The capture only pins what it prints; assert the scenario actually
+	// exercised the fault path before trusting it as a fault golden.
+	if res.TotalRetries() == 0 || res.TotalAbortedBytes() <= 0 {
+		t.Fatalf("fault golden scenario did not abort+retry (retries=%d wasted=%g)",
+			res.TotalRetries(), res.TotalAbortedBytes())
+	}
+	if !res.VM("vm0").Migrated {
+		t.Fatal("fault golden scenario did not complete via retry")
+	}
+
+	path := filepath.Join("testdata", "golden_fault.txt")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(res.SeedCapture), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(res.SeedCapture))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("fault golden missing (run with -update to capture): %v", err)
+	}
+	if string(want) != res.SeedCapture {
+		t.Fatalf("fault capture diverged from golden (bit-for-bit)\n--- want\n%s\n--- got\n%s",
+			want, res.SeedCapture)
+	}
+
+	// Re-run: the capture must be bit-identical within one build too.
+	res2, err := faultGoldenScenario().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.SeedCapture != res.SeedCapture {
+		t.Fatal("fault scenario not deterministic across runs")
+	}
+}

@@ -1,0 +1,173 @@
+// Dynamic fabric: time-varying link capacities and injected background
+// traffic. Real clusters are not the quiescent testbed of the paper — links
+// degrade (failing optics, rate-limiting, congestion outside the model) and
+// other tenants' traffic competes with migration streams. This file adds
+// both as first-class, scriptable inputs: a capacity schedule rescales links
+// at given instants through flow.Net.SetCapacity (which reflows everyone
+// affected incrementally), and cross-traffic generators keep persistent
+// competing flows on the NIC/switch paths.
+package fabric
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hybridmig/hybridmig/internal/flow"
+	"github.com/hybridmig/hybridmig/internal/sim"
+	"github.com/hybridmig/hybridmig/internal/trace"
+)
+
+// LinkRole names one resource of the cluster for scheduling purposes.
+type LinkRole int
+
+// The schedulable link roles.
+const (
+	// LinkFabric is the shared switch fabric (Node is ignored).
+	LinkFabric LinkRole = iota
+	// LinkNICIn and LinkNICOut are one node's NIC directions.
+	LinkNICIn
+	LinkNICOut
+	// LinkDisk is one node's local disk.
+	LinkDisk
+)
+
+func (r LinkRole) String() string {
+	switch r {
+	case LinkFabric:
+		return "fabric"
+	case LinkNICIn:
+		return "nic-in"
+	case LinkNICOut:
+		return "nic-out"
+	case LinkDisk:
+		return "disk"
+	}
+	return fmt.Sprintf("role(%d)", int(r))
+}
+
+// LinkFor returns the link a role names on the given node (the node index is
+// ignored for LinkFabric).
+func (c *Cluster) LinkFor(role LinkRole, node int) *flow.Link {
+	switch role {
+	case LinkFabric:
+		return c.Fabric
+	case LinkNICIn:
+		return c.Nodes[node].NICIn
+	case LinkNICOut:
+		return c.Nodes[node].NICOut
+	case LinkDisk:
+		return c.Nodes[node].Disk
+	}
+	panic(fmt.Sprintf("fabric: unknown link role %d", int(role)))
+}
+
+// baseCapacity returns the role's configured (undegraded) capacity from the
+// testbed constants, so schedule factors compose against a fixed reference
+// instead of compounding.
+func (c *Cluster) baseCapacity(role LinkRole) float64 {
+	switch role {
+	case LinkFabric:
+		return c.P.FabricBandwidth
+	case LinkNICIn, LinkNICOut:
+		return c.P.NICBandwidth
+	case LinkDisk:
+		return c.P.DiskBandwidth
+	}
+	panic(fmt.Sprintf("fabric: unknown link role %d", int(role)))
+}
+
+// blackoutFloor is the fraction of configured capacity a "blackout" leaves:
+// flow requires strictly positive capacities, and a literal zero would also
+// stall completions forever. 1e-6 of a NIC is a few hundred bytes/s — dead
+// for any practical transfer, but still well-formed.
+const blackoutFloor = 1e-6
+
+// CapacityStep is one entry of a link-degradation schedule: at time At, the
+// role's link (on Node, for per-node roles) is set to Factor times its
+// configured capacity. Factor 1 restores the link; factors at or below
+// blackoutFloor model a blackout.
+type CapacityStep struct {
+	At     float64
+	Role   LinkRole
+	Node   int
+	Factor float64
+}
+
+// ApplySchedule installs the degradation schedule: each step becomes an
+// engine timer that rescales its link and reflows the affected component.
+// Steps scheduled in slice order at equal times keep slice order. The bus
+// may be nil; each applied step is published as a trace.KindLinkCapacity
+// event (Detail = link name, Value = new capacity).
+func (c *Cluster) ApplySchedule(steps []CapacityStep, bus *trace.Bus) {
+	for _, st := range steps {
+		st := st
+		l := c.LinkFor(st.Role, st.Node) // resolve now: panics surface at setup
+		cap := c.baseCapacity(st.Role) * math.Max(st.Factor, blackoutFloor)
+		c.Eng.At(st.At, func() {
+			c.Net.SetCapacity(l, cap)
+			if bus.Active() {
+				bus.Emit(trace.Event{Time: c.Eng.Now(), Kind: trace.KindLinkCapacity,
+					Detail: l.Name, Value: cap})
+			}
+		})
+	}
+}
+
+// CrossTraffic describes one persistent background traffic source: from
+// Start to Stop, back-to-back transfers of Burst bytes flow from Src to Dst
+// over the normal NIC/fabric path, optionally paced at Rate bytes/s. The
+// flows carry flow.TagBackground so reports can separate tenant noise from
+// migration traffic.
+type CrossTraffic struct {
+	Src, Dst    int
+	Start, Stop float64
+	Rate        float64 // per-flow pacing cap in bytes/s; 0 = uncapped
+	Burst       float64 // bytes per transfer; 0 picks 16 MB
+}
+
+// defaultBurst keeps individual background transfers short enough that
+// pacing reacts to capacity changes, long enough that per-flow churn stays
+// negligible.
+const defaultBurst = 16 << 20
+
+// StartCrossTraffic launches the generator process. Traffic ceases at Stop:
+// the transfer in flight at that instant is canceled, so a finite scenario
+// always drains. Invalid node indices or a non-positive window panic (the
+// scenario layer validates first and reports real errors).
+func (c *Cluster) StartCrossTraffic(tr CrossTraffic) {
+	if tr.Src < 0 || tr.Src >= len(c.Nodes) || tr.Dst < 0 || tr.Dst >= len(c.Nodes) {
+		panic(fmt.Sprintf("fabric: cross-traffic nodes %d->%d out of range", tr.Src, tr.Dst))
+	}
+	if tr.Src == tr.Dst {
+		panic("fabric: cross-traffic needs distinct nodes")
+	}
+	if !(tr.Stop > tr.Start) || tr.Start < 0 {
+		panic(fmt.Sprintf("fabric: cross-traffic window [%g,%g) is not a positive span", tr.Start, tr.Stop))
+	}
+	burst := tr.Burst
+	if burst <= 0 {
+		burst = defaultBurst
+	}
+	src, dst := c.Nodes[tr.Src], c.Nodes[tr.Dst]
+	var cur *flow.Flow
+	// The stop timer cancels whatever transfer is in flight at Stop; the
+	// generator's loop condition then terminates it.
+	c.Eng.At(tr.Stop, func() {
+		if cur != nil && !cur.Done() {
+			c.Net.Cancel(cur)
+		}
+	})
+	c.Eng.Go(fmt.Sprintf("traffic/%d-%d", tr.Src, tr.Dst), func(p *sim.Proc) {
+		if tr.Start > p.Now() {
+			p.Sleep(tr.Start - p.Now())
+		}
+		for p.Now() < tr.Stop {
+			f := &flow.Flow{Links: c.NetPath(src, dst), Size: burst,
+				MaxRate: tr.Rate, Tag: flow.TagBackground}
+			cur = f
+			c.Net.Start(f)
+			f.Wait(p)
+		}
+		cur = nil
+	})
+}

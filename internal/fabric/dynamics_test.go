@@ -1,0 +1,137 @@
+package fabric
+
+import (
+	"testing"
+
+	"github.com/hybridmig/hybridmig/internal/flow"
+	"github.com/hybridmig/hybridmig/internal/sim"
+	"github.com/hybridmig/hybridmig/internal/trace"
+)
+
+func TestApplyScheduleDegradesTransfer(t *testing.T) {
+	eng := sim.New()
+	c := NewCluster(eng, 3, testbed())
+	// 500 B at NIC 100 B/s would finish at t=5; halving the source NIC-out
+	// at t=2 leaves 300 B at 50 B/s -> finish at t=8.
+	c.ApplySchedule([]CapacityStep{{At: 2, Role: LinkNICOut, Node: 0, Factor: 0.5}}, nil)
+	var doneAt sim.Time
+	eng.Go("x", func(p *sim.Proc) {
+		c.Transfer(p, c.Nodes[0], c.Nodes[1], 500, flow.TagMemory)
+		doneAt = p.Now()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !near(doneAt, 8, 1e-9) {
+		t.Fatalf("doneAt = %v, want 8", doneAt)
+	}
+}
+
+func TestApplyScheduleRestoreAndTrace(t *testing.T) {
+	eng := sim.New()
+	c := NewCluster(eng, 2, testbed())
+	bus := &trace.Bus{}
+	var events []trace.Event
+	bus.Subscribe(trace.ObserverFunc(func(e trace.Event) { events = append(events, e) }))
+	c.ApplySchedule([]CapacityStep{
+		{At: 1, Role: LinkDisk, Node: 1, Factor: 0.2},
+		{At: 3, Role: LinkDisk, Node: 1, Factor: 1},
+	}, bus)
+	var doneAt sim.Time
+	eng.Go("x", func(p *sim.Proc) {
+		// 200 B on disk 50 B/s: 1 s at 50 (50 B), 2 s at 10 (20 B), then
+		// 130 B at 50 -> 2.6 s more, done at 5.6.
+		c.DiskIO(p, c.Nodes[1], 200, flow.TagOther)
+		doneAt = p.Now()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !near(doneAt, 5.6, 1e-9) {
+		t.Fatalf("doneAt = %v, want 5.6", doneAt)
+	}
+	if len(events) != 2 || events[0].Kind != trace.KindLinkCapacity {
+		t.Fatalf("trace events = %v, want 2 link-capacity events", events)
+	}
+	if !near(events[0].Value, 10, 1e-9) || !near(events[1].Value, 50, 1e-9) {
+		t.Fatalf("capacities = %v,%v, want 10,50", events[0].Value, events[1].Value)
+	}
+}
+
+func TestBlackoutFloorKeepsCapacityPositive(t *testing.T) {
+	eng := sim.New()
+	c := NewCluster(eng, 2, testbed())
+	c.ApplySchedule([]CapacityStep{{At: 0, Role: LinkFabric, Factor: 0}}, nil)
+	if err := eng.RunUntil(1); err != nil {
+		t.Fatal(err)
+	}
+	if c.Fabric.Capacity <= 0 {
+		t.Fatalf("blackout left capacity %v, want positive floor", c.Fabric.Capacity)
+	}
+	if c.Fabric.Capacity > testbed().FabricBandwidth*blackoutFloor*1.001 {
+		t.Fatalf("blackout capacity %v above floor", c.Fabric.Capacity)
+	}
+}
+
+func TestCrossTrafficCompetesAndStops(t *testing.T) {
+	eng := sim.New()
+	c := NewCluster(eng, 3, testbed())
+	// Background traffic 0->1 from t=0 to t=10 contends with a measured
+	// transfer 2->1 for node 1's NIC-in (100 B/s): the transfer gets 50 B/s
+	// while traffic is up.
+	c.StartCrossTraffic(CrossTraffic{Src: 0, Dst: 1, Start: 0, Stop: 10, Burst: 1e6})
+	var doneAt sim.Time
+	eng.Go("x", func(p *sim.Proc) {
+		c.Transfer(p, c.Nodes[2], c.Nodes[1], 300, flow.TagMemory)
+		doneAt = p.Now()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !near(doneAt, 6, 1e-9) {
+		t.Fatalf("doneAt = %v, want 6 (half share under cross traffic)", doneAt)
+	}
+	// Half share (50 B/s) while contended, full NIC rate (100 B/s) after.
+	if got := c.Net.BytesByTag(flow.TagBackground); !near(got, 6*50+4*100, 1e-6) {
+		t.Fatalf("background bytes = %v, want 700", got)
+	}
+	// The generator must terminate at Stop so the simulation drained.
+	if eng.PendingEvents() != 0 || eng.LiveProcs() != 0 {
+		t.Fatalf("generator leaked: %d events, %d procs", eng.PendingEvents(), eng.LiveProcs())
+	}
+}
+
+func TestCrossTrafficPaced(t *testing.T) {
+	eng := sim.New()
+	c := NewCluster(eng, 2, testbed())
+	c.StartCrossTraffic(CrossTraffic{Src: 0, Dst: 1, Start: 1, Stop: 5, Rate: 25, Burst: 1e6})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 s at the 25 B/s pacing cap.
+	if got := c.Net.BytesByTag(flow.TagBackground); !near(got, 100, 1e-6) {
+		t.Fatalf("background bytes = %v, want 100", got)
+	}
+}
+
+func TestCrossTrafficValidation(t *testing.T) {
+	eng := sim.New()
+	c := NewCluster(eng, 2, testbed())
+	for _, tr := range []CrossTraffic{
+		{Src: 0, Dst: 5, Start: 0, Stop: 1},
+		{Src: -1, Dst: 1, Start: 0, Stop: 1},
+		{Src: 0, Dst: 0, Start: 0, Stop: 1},
+		{Src: 0, Dst: 1, Start: 2, Stop: 2},
+		{Src: 0, Dst: 1, Start: -1, Stop: 1},
+	} {
+		tr := tr
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("StartCrossTraffic(%+v) did not panic", tr)
+				}
+			}()
+			c.StartCrossTraffic(tr)
+		}()
+	}
+}

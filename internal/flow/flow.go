@@ -54,6 +54,7 @@ const (
 	TagPFS             // parallel file system I/O
 	TagApp             // application communication (e.g. CM1 halo exchange)
 	TagControl         // small control messages
+	TagBackground      // injected cross-tenant background traffic
 	numTags
 )
 
@@ -63,6 +64,7 @@ const NumTags = int(numTags)
 
 var tagNames = [numTags]string{
 	"other", "memory", "push", "pull", "blockmig", "mirror", "repo", "pfs", "app", "control",
+	"background",
 }
 
 func (t Tag) String() string {
@@ -88,8 +90,11 @@ func Tags() []Tag { return allTags[:] }
 // Link is a capacity-constrained resource (a NIC direction, a switch fabric,
 // a disk). Bytes flowing through it are accumulated for utilization reports.
 type Link struct {
-	Name     string
-	Capacity float64 // bytes per second
+	Name string
+	// Capacity is the link rate in bytes per second. It must not be written
+	// directly once flows are active; use Net.SetCapacity, which reflows the
+	// affected component and keeps the saturability bounds consistent.
+	Capacity float64
 
 	flows []*Flow // active flows crossing this link
 	bytes float64 // total bytes carried (settled lazily; see Bytes)
@@ -364,6 +369,71 @@ func (n *Net) Cancel(f *Flow) float64 {
 	n.recomputeComponent()
 	n.reschedule()
 	return rem
+}
+
+// SetCapacity changes a link's capacity mid-run (time-varying fabrics:
+// degradation, blackout recovery, tenant rate limits) and incrementally
+// reflows everyone affected. The component reachable from the link under its
+// PRE-change transparency is collected first — a link that turns transparent
+// must still release the flows it was constraining — then the capacity and
+// every crossing flow's saturability ceilings are updated, the closure is
+// re-expanded under the POST-change transparency (a link that turns opaque
+// pulls its flows in), and the component is refilled with the completion
+// heap rescheduled. Flows whose allocated rate is unchanged keep their lazy
+// accounting untouched, exactly as in Start and Cancel.
+func (n *Net) SetCapacity(l *Link, c float64) {
+	if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+		panic(fmt.Sprintf("flow: invalid capacity %v for link %s", c, l.Name))
+	}
+	if c == l.Capacity {
+		return
+	}
+	n.lastEvent = n.eng.Now()
+	n.resetComponent()
+	// Force-seed the link itself: even a currently transparent link must have
+	// its flows re-examined, since the new capacity may make it opaque.
+	if l.mark != n.epoch {
+		l.mark = n.epoch
+		n.compLinks = append(n.compLinks, l)
+	}
+	n.expandComponent()
+	l.Capacity = c
+	// Every crossing flow's rate ceiling may have changed; re-derive its two
+	// smallest path capacities and move its contribution on every link it
+	// crosses (which may flip those links' transparency).
+	for _, f := range l.flows {
+		for _, lk := range f.Links {
+			if u := f.ubFor(lk); math.IsInf(u, 1) {
+				lk.ubInf--
+			} else {
+				lk.ubSum -= u
+			}
+		}
+		f.minCap, f.minCap2, f.minCapLink = math.Inf(1), math.Inf(1), nil
+		for _, lk := range f.Links {
+			if lk.Capacity < f.minCap {
+				f.minCap2 = f.minCap
+				f.minCap, f.minCapLink = lk.Capacity, lk
+			} else if lk.Capacity < f.minCap2 {
+				f.minCap2 = lk.Capacity
+			}
+		}
+		for _, lk := range f.Links {
+			if u := f.ubFor(lk); math.IsInf(u, 1) {
+				lk.ubInf++
+			} else {
+				lk.ubSum += u
+			}
+		}
+	}
+	// Post-change closure: links that just turned opaque join the component
+	// and pull their flows in.
+	for _, f := range n.compFlows {
+		n.seedLinks(f.Links)
+	}
+	n.expandComponent()
+	n.recomputeComponent()
+	n.reschedule()
 }
 
 // Wait parks the process until the flow completes or is canceled.

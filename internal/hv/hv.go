@@ -47,7 +47,41 @@ type Result struct {
 	MemoryBytes     float64  // memory payload moved (incl. device state)
 	BlockBytes      float64  // block-migration payload moved
 	Converged       bool     // false when the round cap forced stop-and-copy
+	Aborted         bool     // an injected fault tore the migration down
 }
+
+// Abort is the cancellation handle for one in-flight live migration. A fault
+// injector calls Trigger, which cancels the transfer currently on the wire;
+// the migration process wakes from its flow wait, observes the flag, and
+// unwinds without pausing or moving the VM (or, if already paused, resumes
+// it at the source). Everything runs synchronously in simulation context —
+// no watcher processes, no timers — so aborting leaves nothing behind.
+type Abort struct {
+	net     *flow.Net
+	aborted bool
+	cur     *flow.Flow
+}
+
+// NewAbort returns an abort handle bound to the network the migration's
+// flows run on.
+func NewAbort(net *flow.Net) *Abort { return &Abort{net: net} }
+
+// Trigger aborts the migration: the in-flight transfer (if any) is canceled
+// and the migration process unwinds at its next step. Triggering twice, or
+// triggering a nil handle, is a no-op.
+func (a *Abort) Trigger() {
+	if a == nil || a.aborted {
+		return
+	}
+	a.aborted = true
+	if a.cur != nil && !a.cur.Done() {
+		a.net.Cancel(a.cur)
+	}
+	a.cur = nil
+}
+
+// Aborted reports whether Trigger has fired. Nil handles report false.
+func (a *Abort) Aborted() bool { return a != nil && a.aborted }
 
 // Migrate live-migrates v from its current node to dst, blocking until the
 // VM runs on dst. bm is non-nil only for the precopy (block migration)
@@ -65,12 +99,22 @@ func Migrate(p *sim.Proc, cl *fabric.Cluster, v *vm.VM, dst *fabric.Node, hp par
 // round is published as a trace.KindRound event (round number and payload
 // bytes). A nil bus is valid and traces nothing.
 func MigrateTraced(p *sim.Proc, cl *fabric.Cluster, v *vm.VM, dst *fabric.Node, hp params.Hypervisor, bm BlockMigrator, stopGate *sim.Gate, bus *trace.Bus) Result {
+	return MigrateAbortable(p, cl, v, dst, hp, bm, stopGate, bus, nil)
+}
+
+// MigrateAbortable is MigrateTraced with a fault-injection handle: when ab
+// is triggered mid-migration the in-flight transfer is canceled and the
+// migration unwinds with Result.Aborted set, leaving the VM running at the
+// source. Byte counters then report what actually crossed the wire before
+// the abort (the wasted traffic of the attempt). A nil ab disables aborts
+// and is byte-for-byte the untraced path.
+func MigrateAbortable(p *sim.Proc, cl *fabric.Cluster, v *vm.VM, dst *fabric.Node, hp params.Hypervisor, bm BlockMigrator, stopGate *sim.Gate, bus *trace.Bus, ab *Abort) Result {
 	eng := cl.Eng
 	src := v.Node
 	res := Result{Requested: eng.Now()}
 
 	transfer := func(bytes float64, tag flow.Tag) float64 {
-		if bytes <= 0 {
+		if bytes <= 0 || ab.Aborted() {
 			return 0
 		}
 		start := eng.Now()
@@ -84,7 +128,21 @@ func MigrateTraced(p *sim.Proc, cl *fabric.Cluster, v *vm.VM, dst *fabric.Node, 
 		}
 		f := &flow.Flow{Links: path, Size: bytes, MaxRate: hp.MigrationSpeed, Tag: tag}
 		cl.Net.Start(f)
+		if ab != nil {
+			ab.cur = f
+		}
 		f.Wait(p)
+		if ab != nil {
+			ab.cur = nil
+		}
+		// Account what actually moved: a completed flow moved exactly bytes,
+		// a canceled one only its settled part.
+		moved := bytes - f.Remaining()
+		if tag == flow.TagBlockMig {
+			res.BlockBytes += moved
+		} else {
+			res.MemoryBytes += moved
+		}
 		return eng.Now() - start
 	}
 
@@ -105,8 +163,10 @@ func MigrateTraced(p *sim.Proc, cl *fabric.Cluster, v *vm.VM, dst *fabric.Node, 
 		}
 		dur := transfer(blkPayload, flow.TagBlockMig)
 		dur += transfer(memPayload, flow.TagMemory)
-		res.MemoryBytes += memPayload
-		res.BlockBytes += blkPayload
+		if ab.Aborted() {
+			res.Aborted = true
+			return res
+		}
 		if moved := memPayload + blkPayload; dur > 0 && moved > 0 {
 			rate = moved / dur
 		}
@@ -122,6 +182,10 @@ func MigrateTraced(p *sim.Proc, cl *fabric.Cluster, v *vm.VM, dst *fabric.Node, 
 				// Converged but storage is not synchronized yet: keep the VM
 				// live, wait for the gate, and run one more catch-up round.
 				stopGate.Wait(p)
+				if ab.Aborted() {
+					res.Aborted = true
+					return res
+				}
 				memPayload = float64(v.Mem.CollectDirty(eng.Now()))
 				if bm != nil {
 					blkPayload = float64(bm.CollectDirtyBytes())
@@ -152,8 +216,14 @@ func MigrateTraced(p *sim.Proc, cl *fabric.Cluster, v *vm.VM, dst *fabric.Node, 
 	}
 	transfer(blkPayload, flow.TagBlockMig)
 	transfer(memPayload+float64(hp.DeviceState), flow.TagMemory)
-	res.MemoryBytes += memPayload + float64(hp.DeviceState)
-	res.BlockBytes += blkPayload
+	if ab.Aborted() {
+		// Fault during stop-and-copy: the destination never went live, so
+		// the VM resumes where it is — at the source.
+		res.Downtime = eng.Now() - stopStart
+		v.Resume()
+		res.Aborted = true
+		return res
+	}
 	if bm != nil {
 		bm.FinishBlockMigration()
 	}

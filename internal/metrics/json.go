@@ -10,21 +10,27 @@ import "encoding/json"
 // MarshalJSON renders the job record with its derived wait and duration.
 func (j JobStat) MarshalJSON() ([]byte, error) {
 	return json.Marshal(struct {
-		Name       string  `json:"name"`
-		QueuedS    float64 `json:"queued_s"`
-		StartedS   float64 `json:"started_s"`
-		FinishedS  float64 `json:"finished_s"`
-		WaitS      float64 `json:"wait_s"`
-		DurationS  float64 `json:"duration_s"`
-		DowntimeMS float64 `json:"downtime_ms"`
+		Name        string  `json:"name"`
+		QueuedS     float64 `json:"queued_s"`
+		StartedS    float64 `json:"started_s"`
+		FinishedS   float64 `json:"finished_s"`
+		WaitS       float64 `json:"wait_s"`
+		DurationS   float64 `json:"duration_s"`
+		DowntimeMS  float64 `json:"downtime_ms"`
+		Attempts    int     `json:"attempts,omitempty"`
+		Exhausted   bool    `json:"exhausted,omitempty"`
+		WastedBytes float64 `json:"wasted_bytes,omitempty"`
 	}{
-		Name:       j.Name,
-		QueuedS:    j.Queued,
-		StartedS:   j.Started,
-		FinishedS:  j.Finished,
-		WaitS:      j.Wait(),
-		DurationS:  j.Duration(),
-		DowntimeMS: j.Downtime * 1000,
+		Name:        j.Name,
+		QueuedS:     j.Queued,
+		StartedS:    j.Started,
+		FinishedS:   j.Finished,
+		WaitS:       j.Wait(),
+		DurationS:   j.Duration(),
+		DowntimeMS:  j.Downtime * 1000,
+		Attempts:    j.Attempts,
+		Exhausted:   j.Exhausted,
+		WastedBytes: j.WastedBytes,
 	})
 }
 
@@ -49,6 +55,9 @@ func (c *Campaign) MarshalJSON() ([]byte, error) {
 		PeakConcurrent   int        `json:"peak_concurrent"`
 		PeakFlows        int        `json:"peak_flows"`
 		TransferredBytes float64    `json:"transferred_bytes"`
+		Retries          int        `json:"retries,omitempty"`
+		ExhaustedJobs    int        `json:"exhausted_jobs,omitempty"`
+		WastedBytes      float64    `json:"wasted_bytes,omitempty"`
 		Traffic          []TagBytes `json:"traffic,omitempty"`
 		JobStats         []JobStat  `json:"job_stats"`
 	}{
@@ -62,6 +71,9 @@ func (c *Campaign) MarshalJSON() ([]byte, error) {
 		PeakConcurrent:   c.PeakConcurrent,
 		PeakFlows:        c.PeakFlows,
 		TransferredBytes: c.TransferredBytes,
+		Retries:          c.Retries,
+		ExhaustedJobs:    c.ExhaustedJobs,
+		WastedBytes:      c.WastedBytes,
 		Traffic:          c.Traffic,
 		JobStats:         c.JobStats,
 	})

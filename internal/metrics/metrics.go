@@ -94,9 +94,17 @@ func (t *Table) String() string {
 type JobStat struct {
 	Name     string
 	Queued   float64 // campaign start (all jobs are submitted together)
-	Started  float64 // admission: window open and slot acquired
+	Started  float64 // first admission: window open and slot acquired
 	Finished float64
 	Downtime float64 // stop-and-copy duration of this migration
+
+	// Fault/retry outcome. Attempts counts runs of the job (1 when nothing
+	// went wrong); Exhausted marks a job whose retry budget ran out without
+	// a completed migration; WastedBytes is the wire traffic its aborted
+	// attempts threw away.
+	Attempts    int
+	Exhausted   bool
+	WastedBytes float64
 }
 
 // Wait returns how long the policy held the job back before it ran.
@@ -126,6 +134,9 @@ type Campaign struct {
 	PeakConcurrent   int     // most jobs running at once
 	PeakFlows        int     // most network/disk flows active at a job boundary
 	TransferredBytes float64 // all bytes moved while the campaign ran
+	Retries          int     // aborted attempts that were re-admitted
+	ExhaustedJobs    int     // jobs that ran out of retry budget
+	WastedBytes      float64 // wire bytes thrown away by aborted attempts
 	Traffic          []TagBytes
 	JobStats         []JobStat
 }

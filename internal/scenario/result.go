@@ -62,6 +62,15 @@ type VMResult struct {
 	BlockBytes    float64 // block-migration payload (precopy baseline)
 	Core          core.Stats
 
+	// Fault/retry outcome, cumulative across attempts. Retries counts
+	// re-admissions after aborted attempts; AbortedBytes is the wire traffic
+	// those attempts wasted; Exhausted marks a VM whose retry budget ran out
+	// without a completed migration (it keeps running at the source).
+	Retries      int
+	Aborts       int
+	AbortedBytes float64
+	Exhausted    bool
+
 	Workload WorkloadResult
 }
 
@@ -114,6 +123,24 @@ func (r *Result) MigrationTraffic(a cluster.Approach) float64 {
 	return t
 }
 
+// TotalRetries sums every VM's migration retries.
+func (r *Result) TotalRetries() int {
+	var n int
+	for i := range r.VMs {
+		n += r.VMs[i].Retries
+	}
+	return n
+}
+
+// TotalAbortedBytes sums the wire traffic wasted by every aborted attempt.
+func (r *Result) TotalAbortedBytes() float64 {
+	var b float64
+	for i := range r.VMs {
+		b += r.VMs[i].AbortedBytes
+	}
+	return b
+}
+
 // TotalCounter sums every VM's computational-potential counter (Fig. 4's
 // degradation numerator).
 func (r *Result) TotalCounter() float64 {
@@ -153,6 +180,12 @@ func (s *Scenario) collect(tb *cluster.Testbed, insts []*cluster.Instance, runne
 		vr.MemoryBytes = inst.HVResult.MemoryBytes
 		vr.BlockBytes = inst.HVResult.BlockBytes
 		vr.Core = inst.CoreStats
+		if inst.Attempts > 1 {
+			vr.Retries = inst.Attempts - 1
+		}
+		vr.Aborts = inst.Aborts
+		vr.AbortedBytes = inst.AbortedBytes
+		vr.Exhausted = inst.Exhausted
 		vr.Workload = runners[i].result()
 	}
 	if s.opt.seedCapture {
@@ -202,6 +235,12 @@ func (r *Result) capture() string {
 		fmt.Fprintf(&b, "vm %s workload kind=%s iters=%d counter=%d read=%x write=%x runtime=%x\n",
 			v.Name, v.Workload.Kind, v.Workload.Iterations, v.Workload.Counter,
 			v.Workload.ReadBytes, v.Workload.WriteBytes, v.Workload.Runtime)
+		// Fault lines appear only for VMs a fault actually touched, so
+		// fault-free captures stay byte-identical to pre-fault ones.
+		if v.Aborts > 0 || v.Retries > 0 || v.Exhausted {
+			fmt.Fprintf(&b, "vm %s faults retries=%d aborts=%d exhausted=%t wasted=%x\n",
+				v.Name, v.Retries, v.Aborts, v.Exhausted, v.AbortedBytes)
+		}
 	}
 	for ci, c := range r.Campaigns {
 		if c == nil {
@@ -209,6 +248,10 @@ func (r *Result) capture() string {
 		}
 		fmt.Fprintf(&b, "campaign %d policy=%s jobs=%d makespan=%x downtime=%x moved=%x peak=%d\n",
 			ci, c.Policy, c.Jobs, c.Makespan(), c.TotalDowntime, c.TransferredBytes, c.PeakConcurrent)
+		if c.Retries > 0 || c.ExhaustedJobs > 0 {
+			fmt.Fprintf(&b, "campaign %d faults retries=%d exhausted=%d wasted=%x\n",
+				ci, c.Retries, c.ExhaustedJobs, c.WastedBytes)
+		}
 	}
 	for _, t := range flow.Tags() {
 		if v := r.Traffic[t.String()]; v > 0 {

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"github.com/hybridmig/hybridmig/internal/cluster"
+	"github.com/hybridmig/hybridmig/internal/fabric"
 	"github.com/hybridmig/hybridmig/internal/guest"
 	"github.com/hybridmig/hybridmig/internal/metrics"
 	"github.com/hybridmig/hybridmig/internal/params"
@@ -125,6 +126,71 @@ type CampaignSpec struct {
 	Steps  []Step
 }
 
+// FaultKind names an injectable fault family.
+type FaultKind int
+
+// The injectable faults.
+const (
+	// FaultDestCrash crashes the destination of the named VM's in-flight
+	// migration at time At: every migration transfer is canceled, the
+	// destination state is discarded, and the VM keeps running at (or falls
+	// back to) the source. A fault that finds no migration in flight is a
+	// no-op (observers still see it fire).
+	FaultDestCrash FaultKind = iota
+	// FaultDeadline aborts the named VM's migration at time At if it is
+	// still in flight — the operator-imposed "this migration took too long"
+	// cutoff. Mechanically identical to FaultDestCrash, separately named so
+	// traces distinguish crashes from policy aborts.
+	FaultDeadline
+	// FaultLinkDegrade scales the NIC (both directions) of node Node to
+	// Factor times its configured bandwidth at time At, restoring it at
+	// At+Duration. Factor 0 is a blackout (an epsilon floor keeps the
+	// simulation well-formed).
+	FaultLinkDegrade
+	// FaultFabricDegrade scales the shared switch fabric the same way.
+	FaultFabricDegrade
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultDestCrash:
+		return "dest-crash"
+	case FaultDeadline:
+		return "deadline-exceeded"
+	case FaultLinkDegrade:
+		return "link-degrade"
+	case FaultFabricDegrade:
+		return "fabric-degrade"
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// FaultSpec schedules one fault. Which fields matter depends on Kind: VM for
+// the migration-abort faults, Node/Factor/Duration for the degradations.
+type FaultSpec struct {
+	At       float64
+	Kind     FaultKind
+	VM       string
+	Node     int
+	Factor   float64
+	Duration float64
+}
+
+// TrafficSpec declares one background cross-traffic source: from Start to
+// Stop, back-to-back bursts flow from node Src to node Dst over the normal
+// NIC/fabric path, optionally paced at Rate bytes/s, competing with every
+// migration stream that shares those links.
+type TrafficSpec struct {
+	Src, Dst    int
+	Start, Stop float64
+	Rate        float64 // bytes/s per-flow pacing cap; 0 = uncapped
+	Burst       float64 // bytes per transfer; 0 = the fabric default (16 MB)
+}
+
+// RetrySpec bounds re-admission of fault-aborted migrations (timed plans and
+// campaigns alike); see sched.Retry. The zero value disables retries.
+type RetrySpec = sched.Retry
+
 // options collects the functional run options.
 type options struct {
 	scale       Scale
@@ -135,6 +201,9 @@ type options struct {
 	observers   []trace.Observer
 	sampleEvery float64
 	seedCapture bool
+	faults      []FaultSpec
+	traffic     []TrafficSpec
+	retry       RetrySpec
 }
 
 // Option configures a Scenario.
@@ -182,6 +251,27 @@ func WithSampleInterval(d float64) Option { return func(o *options) { o.sampleEv
 // Result.SeedCapture: every measured float64 is rendered with %x so the full
 // mantissa is visible, which is what golden tests diff.
 func WithSeedCapture() Option { return func(o *options) { o.seedCapture = true } }
+
+// WithFaults schedules injected faults: destination crashes and migration
+// deadlines that abort in-flight migrations, and link/fabric degradations
+// that rescale capacities mid-run. Faults fire in declaration order at equal
+// times. Fault times (and degradation windows) must fit inside the horizon.
+func WithFaults(fs ...FaultSpec) Option {
+	return func(o *options) { o.faults = append(o.faults, fs...) }
+}
+
+// WithBackgroundTraffic adds persistent cross-traffic generators that
+// compete with migrations for NIC and fabric bandwidth, tagged "background"
+// in traffic reports. Each window must fit inside the horizon so the run can
+// drain.
+func WithBackgroundTraffic(ts ...TrafficSpec) Option {
+	return func(o *options) { o.traffic = append(o.traffic, ts...) }
+}
+
+// WithRetry gives fault-aborted migrations a retry budget: an aborted timed
+// migration (or campaign job) backs off and re-runs until it completes or
+// exhausts r.MaxAttempts. Without it every abort is terminal.
+func WithRetry(r RetrySpec) Option { return func(o *options) { o.retry = r } }
 
 // Scenario is a declarative description of one simulated session. Build it
 // with New, AddVM, MigrateAt and Campaign, then call Run.
@@ -240,6 +330,19 @@ func (s *Scenario) maxNodeIndex() int {
 			}
 		}
 	}
+	for _, f := range s.opt.faults {
+		if (f.Kind == FaultLinkDegrade) && f.Node > max {
+			max = f.Node
+		}
+	}
+	for _, t := range s.opt.traffic {
+		if t.Src > max {
+			max = t.Src
+		}
+		if t.Dst > max {
+			max = t.Dst
+		}
+	}
 	return max
 }
 
@@ -284,8 +387,23 @@ func (s *Scenario) resolve() (cluster.Config, Setup, map[string]int, error) {
 		}
 		return nil
 	}
+	// Trigger and fault times must lie inside the horizon: work scheduled
+	// past it could never run, and a degradation that restores after the
+	// horizon would leave the run undrainable.
+	checkTime := func(what string, at float64) error {
+		if at < 0 {
+			return invalidf("%s at negative time %g", what, at)
+		}
+		if at > s.opt.horizon {
+			return invalidf("%s at %g s is past the horizon (%g s)", what, at, s.opt.horizon)
+		}
+		return nil
+	}
 	for _, m := range s.migrations {
 		if err := checkStep("migration", m.VM, m.Dst); err != nil {
+			return zero, Setup{}, nil, err
+		}
+		if err := checkTime(fmt.Sprintf("migration of VM %q", m.VM), m.At); err != nil {
 			return zero, Setup{}, nil, err
 		}
 	}
@@ -296,11 +414,81 @@ func (s *Scenario) resolve() (cluster.Config, Setup, map[string]int, error) {
 		if len(c.Steps) == 0 {
 			return zero, Setup{}, nil, invalidf("campaign %d has no migrations", ci)
 		}
+		if err := checkTime(fmt.Sprintf("campaign %d", ci), c.At); err != nil {
+			return zero, Setup{}, nil, err
+		}
 		for _, st := range c.Steps {
 			if err := checkStep("campaign migration", st.VM, st.Dst); err != nil {
 				return zero, Setup{}, nil, err
 			}
 		}
+	}
+	for fi, f := range s.opt.faults {
+		if err := checkTime(fmt.Sprintf("fault %d (%s)", fi, f.Kind), f.At); err != nil {
+			return zero, Setup{}, nil, err
+		}
+		switch f.Kind {
+		case FaultDestCrash, FaultDeadline:
+			if _, ok := byName[f.VM]; !ok {
+				return zero, Setup{}, nil, invalidf("fault %d (%s) targets unknown VM %q", fi, f.Kind, f.VM)
+			}
+		case FaultLinkDegrade, FaultFabricDegrade:
+			if f.Kind == FaultLinkDegrade && f.Node < 0 {
+				return zero, Setup{}, nil, invalidf("fault %d (%s) targets negative node %d", fi, f.Kind, f.Node)
+			}
+			if f.Factor < 0 || f.Factor > 1 {
+				return zero, Setup{}, nil, invalidf("fault %d (%s) factor %g outside [0,1]", fi, f.Kind, f.Factor)
+			}
+			if f.Duration <= 0 {
+				return zero, Setup{}, nil, invalidf("fault %d (%s) needs a positive duration", fi, f.Kind)
+			}
+			if err := checkTime(fmt.Sprintf("fault %d (%s) restore", fi, f.Kind), f.At+f.Duration); err != nil {
+				return zero, Setup{}, nil, err
+			}
+		default:
+			return zero, Setup{}, nil, invalidf("fault %d has unknown kind %d", fi, int(f.Kind))
+		}
+	}
+	// Degradation windows on the same link must not overlap: each window's
+	// restore step sets the link back to full capacity, so an inner window
+	// would silently cancel the tail of an outer one.
+	for i, a := range s.opt.faults {
+		if a.Kind != FaultLinkDegrade && a.Kind != FaultFabricDegrade {
+			continue
+		}
+		for j := i + 1; j < len(s.opt.faults); j++ {
+			b := s.opt.faults[j]
+			if b.Kind != a.Kind || (a.Kind == FaultLinkDegrade && a.Node != b.Node) {
+				continue
+			}
+			if a.At < b.At+b.Duration && b.At < a.At+a.Duration {
+				return zero, Setup{}, nil, invalidf(
+					"faults %d and %d (%s) have overlapping windows on the same link", i, j, a.Kind)
+			}
+		}
+	}
+	for ti, tr := range s.opt.traffic {
+		if tr.Src < 0 || tr.Dst < 0 {
+			return zero, Setup{}, nil, invalidf("traffic %d uses negative node", ti)
+		}
+		if tr.Src == tr.Dst {
+			return zero, Setup{}, nil, invalidf("traffic %d needs distinct nodes (got %d->%d)", ti, tr.Src, tr.Dst)
+		}
+		if tr.Rate < 0 || tr.Burst < 0 {
+			return zero, Setup{}, nil, invalidf("traffic %d has negative rate or burst", ti)
+		}
+		if err := checkTime(fmt.Sprintf("traffic %d start", ti), tr.Start); err != nil {
+			return zero, Setup{}, nil, err
+		}
+		if !(tr.Stop > tr.Start) {
+			return zero, Setup{}, nil, invalidf("traffic %d window [%g,%g) is not a positive span", ti, tr.Start, tr.Stop)
+		}
+		if err := checkTime(fmt.Sprintf("traffic %d stop", ti), tr.Stop); err != nil {
+			return zero, Setup{}, nil, err
+		}
+	}
+	if r := s.opt.retry; r.MaxAttempts < 0 || r.Backoff < 0 || r.Factor < 0 {
+		return zero, Setup{}, nil, invalidf("retry spec has negative fields")
 	}
 	if s.opt.cm1 != nil {
 		if s.opt.cm1.GridX*s.opt.cm1.GridY != s.opt.cm1.Procs {
@@ -396,7 +584,7 @@ func (s *Scenario) Run() (*Result, error) {
 		idx := byName[m.VM]
 		eng.Go("middleware/"+m.VM, func(p *sim.Proc) {
 			p.Sleep(m.At)
-			tb.MigrateInstance(p, insts[idx], m.Dst)
+			s.migrateWithRetry(p, tb, insts[idx], m.Dst)
 		})
 	}
 	campaigns := make([]*metrics.Campaign, len(s.campaigns))
@@ -408,9 +596,17 @@ func (s *Scenario) Run() (*Result, error) {
 		}
 		eng.Go("orchestrator", func(p *sim.Proc) {
 			p.Sleep(c.At)
-			campaigns[ci] = tb.MigrateAll(p, reqs, c.Policy)
+			campaigns[ci] = tb.MigrateAllRetry(p, reqs, c.Policy, s.opt.retry)
 		})
 	}
+
+	for _, tr := range s.opt.traffic {
+		tb.Cl.StartCrossTraffic(fabric.CrossTraffic{
+			Src: tr.Src, Dst: tr.Dst, Start: tr.Start, Stop: tr.Stop,
+			Rate: tr.Rate, Burst: tr.Burst,
+		})
+	}
+	s.armFaults(tb, insts, byName)
 
 	if len(s.opt.observers) > 0 && s.opt.sampleEvery > 0 && s.planSize() > 0 {
 		s.startSampler(tb, insts, byName)
@@ -428,6 +624,76 @@ func (s *Scenario) Run() (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// migrateWithRetry runs one timed migration under the scenario's retry
+// budget: a fault-aborted attempt backs off and re-runs until it completes
+// or exhausts the budget, mirroring the campaign path's semantics.
+func (s *Scenario) migrateWithRetry(p *sim.Proc, tb *cluster.Testbed, inst *cluster.Instance, dst int) {
+	maxAttempts := s.opt.retry.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	backoff := s.opt.retry.Backoff
+	bus := tb.Bus()
+	for attempt := 1; ; attempt++ {
+		if tb.MigrateInstance(p, inst, dst) == nil {
+			return
+		}
+		if attempt >= maxAttempts {
+			inst.Exhausted = true
+			return
+		}
+		if bus.Active() {
+			bus.Emit(trace.Event{Time: p.Now(), Kind: trace.KindMigrationRetried,
+				VM: inst.Name, Round: attempt + 1})
+		}
+		if backoff > 0 {
+			p.Sleep(backoff)
+		}
+		if s.opt.retry.Factor > 0 {
+			backoff *= s.opt.retry.Factor
+		}
+	}
+}
+
+// armFaults installs the scenario's fault schedule: abort faults become
+// engine timers calling the middleware's AbortMigration; degradations become
+// capacity schedules with a restore step. Every firing is published as a
+// trace.KindFaultInjected event before its effect.
+func (s *Scenario) armFaults(tb *cluster.Testbed, insts []*cluster.Instance, byName map[string]int) {
+	bus := tb.Bus()
+	emit := func(f FaultSpec, value float64) {
+		if bus.Active() {
+			bus.Emit(trace.Event{Time: tb.Eng.Now(), Kind: trace.KindFaultInjected,
+				VM: f.VM, Detail: f.Kind.String(), Value: value})
+		}
+	}
+	for _, f := range s.opt.faults {
+		f := f
+		switch f.Kind {
+		case FaultDestCrash, FaultDeadline:
+			inst := insts[byName[f.VM]]
+			tb.Eng.At(f.At, func() {
+				emit(f, 0)
+				tb.AbortMigration(inst, f.Kind.String())
+			})
+		case FaultLinkDegrade:
+			tb.Eng.At(f.At, func() { emit(f, f.Factor) })
+			tb.Cl.ApplySchedule([]fabric.CapacityStep{
+				{At: f.At, Role: fabric.LinkNICIn, Node: f.Node, Factor: f.Factor},
+				{At: f.At, Role: fabric.LinkNICOut, Node: f.Node, Factor: f.Factor},
+				{At: f.At + f.Duration, Role: fabric.LinkNICIn, Node: f.Node, Factor: 1},
+				{At: f.At + f.Duration, Role: fabric.LinkNICOut, Node: f.Node, Factor: 1},
+			}, bus)
+		case FaultFabricDegrade:
+			tb.Eng.At(f.At, func() { emit(f, f.Factor) })
+			tb.Cl.ApplySchedule([]fabric.CapacityStep{
+				{At: f.At, Role: fabric.LinkFabric, Factor: f.Factor},
+				{At: f.At + f.Duration, Role: fabric.LinkFabric, Factor: 1},
+			}, bus)
+		}
+	}
 }
 
 // planSize returns the total number of planned migrations.

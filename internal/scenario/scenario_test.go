@@ -107,7 +107,12 @@ func TestValidationErrors(t *testing.T) {
 // cannot finish by the horizon fails with a *sim.DeadlineError carrying the
 // stuck-work diagnosis, and still returns the partial result.
 func TestHorizonOverrunIsTyped(t *testing.T) {
-	res, err := quick(WithNodes(4), WithHorizon(1)).Run()
+	// The migration triggers inside the horizon but cannot finish by it
+	// (a trigger past the horizon is rejected as invalid instead).
+	res, err := New(WithNodes(4), WithHorizon(1)).
+		AddVM(VMSpec{Name: "vm0", Node: 0, Approach: cluster.OurApproach, Workload: Rewrite(nil)}).
+		MigrateAt("vm0", 1, 0.5).
+		Run()
 	if err == nil {
 		t.Fatal("horizon overrun not reported")
 	}

@@ -40,8 +40,10 @@ import (
 // layer.
 type Job struct {
 	Name string
-	// Run executes the migration; it is called from a dedicated process.
-	Run func(p *sim.Proc)
+	// Run executes the migration; it is called from a dedicated process. A
+	// non-nil error means the attempt was torn down (fault-aborted) and the
+	// job is eligible for re-admission under the campaign's Retry budget.
+	Run func(p *sim.Proc) error
 	// LowIO, when non-nil, reports whether the VM's workload is currently
 	// in a low-I/O window (CycleAware consults it). Nil means unknown,
 	// which policies treat as "always migratable".
@@ -49,6 +51,31 @@ type Job struct {
 	// Downtime, when non-nil, returns the migration's stop-and-copy
 	// duration after Run has completed.
 	Downtime func() float64
+	// Wasted, when non-nil, returns the cumulative wire bytes this job's
+	// instance has wasted on aborted attempts; the campaign records the
+	// delta accrued while the job ran.
+	Wasted func() float64
+}
+
+// Retry bounds re-admission of fault-aborted jobs. The zero value disables
+// retries: an aborted job is terminal after its first attempt.
+type Retry struct {
+	// MaxAttempts is how many times one job may run, first try included;
+	// values below 1 mean a single attempt.
+	MaxAttempts int
+	// Backoff is the delay before an aborted job requests re-admission.
+	Backoff float64
+	// Factor scales Backoff after each further failure (exponential
+	// backoff); values at or below 0 mean 1 (constant backoff).
+	Factor float64
+}
+
+// attempts returns the effective per-job attempt budget.
+func (r Retry) attempts() int {
+	if r.MaxAttempts < 1 {
+		return 1
+	}
+	return r.MaxAttempts
 }
 
 // Policy decides how a campaign admits its jobs.
@@ -155,8 +182,19 @@ func New(eng *sim.Engine, net *flow.Net) *Orchestrator {
 
 // Run executes the campaign under the policy and blocks until every job has
 // completed. Jobs are admitted in submission order (FIFO), so identical
-// inputs produce identical campaigns.
+// inputs produce identical campaigns. Aborted jobs are terminal (no
+// retries); use RunRetry for a retry budget.
 func (o *Orchestrator) Run(p *sim.Proc, jobs []Job, pol Policy) *metrics.Campaign {
+	return o.RunRetry(p, jobs, pol, Retry{})
+}
+
+// RunRetry is Run with a retry budget: a job whose attempt returns an error
+// releases its admission slot, backs off, and rejoins the admission queue at
+// the back (re-admission is FIFO with everyone else, so campaigns stay
+// deterministic), until it completes or exhausts retry.MaxAttempts. Every
+// job therefore reaches a terminal state: completed, or exhausted with
+// JobStat.Exhausted set.
+func (o *Orchestrator) RunRetry(p *sim.Proc, jobs []Job, pol Policy, retry Retry) *metrics.Campaign {
 	eng := o.eng
 	c := &metrics.Campaign{
 		Policy:   pol.Name(),
@@ -200,25 +238,65 @@ func (o *Orchestrator) Run(p *sim.Proc, jobs []Job, pol Policy) *metrics.Campaig
 		emit(trace.KindJobQueued, j.Name, pol.Name(), 0)
 		wg.Add(1)
 		eng.Go("sched/"+j.Name, func(jp *sim.Proc) {
-			pol.AwaitWindow(jp, j)
-			slots.Acquire(jp)
-			running++
-			if running > c.PeakConcurrent {
-				c.PeakConcurrent = running
+			var wasted0 float64
+			if j.Wasted != nil {
+				wasted0 = j.Wasted()
 			}
-			st.Started = jp.Now()
-			emit(trace.KindJobAdmitted, j.Name, pol.Name(), float64(running))
-			sampleFlows()
-			j.Run(jp)
-			st.Finished = jp.Now()
-			if j.Downtime != nil {
-				st.Downtime = j.Downtime()
-				c.TotalDowntime += st.Downtime
+			backoff := retry.Backoff
+			for {
+				st.Attempts++
+				pol.AwaitWindow(jp, j)
+				slots.Acquire(jp)
+				running++
+				if running > c.PeakConcurrent {
+					c.PeakConcurrent = running
+				}
+				if st.Attempts == 1 {
+					st.Started = jp.Now() // first admission; retries extend Duration
+				}
+				emit(trace.KindJobAdmitted, j.Name, pol.Name(), float64(running))
+				sampleFlows()
+				err := j.Run(jp)
+				if err == nil {
+					st.Finished = jp.Now()
+					if j.Downtime != nil {
+						st.Downtime = j.Downtime()
+						c.TotalDowntime += st.Downtime
+					}
+					emit(trace.KindJobFinished, j.Name, pol.Name(), st.Downtime)
+					sampleFlows()
+					running--
+					slots.Release(eng)
+					break
+				}
+				// The attempt was fault-aborted: give the slot back before
+				// backing off so waiting jobs are not starved.
+				sampleFlows()
+				running--
+				slots.Release(eng)
+				if st.Attempts >= retry.attempts() {
+					st.Exhausted = true
+					st.Finished = jp.Now()
+					c.ExhaustedJobs++
+					emit(trace.KindJobFinished, j.Name, pol.Name(), st.Downtime)
+					break
+				}
+				c.Retries++
+				if o.Trace.Active() {
+					o.Trace.Emit(trace.Event{Time: eng.Now(), Kind: trace.KindMigrationRetried,
+						VM: j.Name, Detail: pol.Name(), Round: st.Attempts + 1})
+				}
+				if backoff > 0 {
+					jp.Sleep(backoff)
+				}
+				if retry.Factor > 0 {
+					backoff *= retry.Factor
+				}
 			}
-			emit(trace.KindJobFinished, j.Name, pol.Name(), st.Downtime)
-			sampleFlows()
-			running--
-			slots.Release(eng)
+			if j.Wasted != nil {
+				st.WastedBytes = j.Wasted() - wasted0
+				c.WastedBytes += st.WastedBytes
+			}
 			wg.Done(eng)
 		})
 	}

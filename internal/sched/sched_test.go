@@ -19,7 +19,7 @@ func runCampaign(t *testing.T, n int, pol Policy, dur float64) *metrics.Campaign
 	for i := range jobs {
 		jobs[i] = Job{
 			Name:     "j" + strconv.Itoa(i),
-			Run:      func(p *sim.Proc) { p.Sleep(dur) },
+			Run:      func(p *sim.Proc) error { p.Sleep(dur); return nil },
 			Downtime: func() float64 { return 0.01 },
 		}
 	}
@@ -87,7 +87,7 @@ func TestCycleAwareWaitsForWindow(t *testing.T) {
 	eng := sim.New()
 	jobs := []Job{{
 		Name:  "cyclic",
-		Run:   func(p *sim.Proc) { p.Sleep(1) },
+		Run:   func(p *sim.Proc) error { p.Sleep(1); return nil },
 		LowIO: func() bool { return eng.Now() >= 5 },
 	}}
 	var c *metrics.Campaign
@@ -109,7 +109,7 @@ func TestCycleAwareDeferBudget(t *testing.T) {
 	eng := sim.New()
 	jobs := []Job{{
 		Name:  "never-quiet",
-		Run:   func(p *sim.Proc) { p.Sleep(1) },
+		Run:   func(p *sim.Proc) error { p.Sleep(1); return nil },
 		LowIO: func() bool { return false },
 	}}
 	var c *metrics.Campaign
@@ -133,8 +133,9 @@ func TestCampaignTrafficAccounting(t *testing.T) {
 	for i := range jobs {
 		jobs[i] = Job{
 			Name: "xfer" + strconv.Itoa(i),
-			Run: func(p *sim.Proc) {
+			Run: func(p *sim.Proc) error {
 				net.Transfer(p, []*flow.Link{link}, 500, flow.TagMemory)
+				return nil
 			},
 		}
 	}
@@ -193,5 +194,110 @@ func TestPoliciesSet(t *testing.T) {
 	}
 	if w := (BatchedK{K: 5}).Width(3); w != 5 {
 		t.Errorf("BatchedK width = %d", w) // Run clamps to n later
+	}
+}
+
+// flakyJob fails its first n attempts, then succeeds.
+func flakyJob(name string, failures int, dur float64) Job {
+	attempts := 0
+	return Job{
+		Name: name,
+		Run: func(p *sim.Proc) error {
+			attempts++
+			p.Sleep(dur)
+			if attempts <= failures {
+				return errAborted
+			}
+			return nil
+		},
+	}
+}
+
+var errAborted = errTest("aborted")
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }
+
+func TestRetryCompletesAfterFailures(t *testing.T) {
+	eng := sim.New()
+	jobs := []Job{flakyJob("flaky", 2, 1)}
+	var c *metrics.Campaign
+	eng.Go("campaign", func(p *sim.Proc) {
+		c = New(eng, nil).RunRetry(p, jobs, Serial{}, Retry{MaxAttempts: 5, Backoff: 2, Factor: 2})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.JobStats[0]
+	if st.Attempts != 3 || st.Exhausted {
+		t.Fatalf("attempts=%d exhausted=%v, want 3 attempts completed", st.Attempts, st.Exhausted)
+	}
+	if c.Retries != 2 || c.ExhaustedJobs != 0 {
+		t.Fatalf("campaign retries=%d exhausted=%d, want 2,0", c.Retries, c.ExhaustedJobs)
+	}
+	// Attempt 1 [0,1], backoff 2, attempt 2 [3,4], backoff 4, attempt 3 [8,9].
+	if !near(st.Finished, 9) {
+		t.Fatalf("finished = %v, want 9 (exponential backoff)", st.Finished)
+	}
+}
+
+func TestRetryExhaustsBudget(t *testing.T) {
+	eng := sim.New()
+	jobs := []Job{flakyJob("doomed", 99, 1), flakyJob("fine", 0, 1)}
+	var c *metrics.Campaign
+	eng.Go("campaign", func(p *sim.Proc) {
+		c = New(eng, nil).RunRetry(p, jobs, AllAtOnce{}, Retry{MaxAttempts: 3, Backoff: 1})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.JobStats[0].Exhausted || c.JobStats[0].Attempts != 3 {
+		t.Fatalf("doomed: attempts=%d exhausted=%v, want 3,true",
+			c.JobStats[0].Attempts, c.JobStats[0].Exhausted)
+	}
+	if c.JobStats[1].Exhausted || c.JobStats[1].Attempts != 1 {
+		t.Fatalf("fine: attempts=%d exhausted=%v, want 1,false",
+			c.JobStats[1].Attempts, c.JobStats[1].Exhausted)
+	}
+	if c.Retries != 2 || c.ExhaustedJobs != 1 {
+		t.Fatalf("campaign retries=%d exhausted=%d, want 2,1", c.Retries, c.ExhaustedJobs)
+	}
+}
+
+func TestRetryReleasesSlotDuringBackoff(t *testing.T) {
+	// Serial admission: while the flaky job backs off, the other job must
+	// get the slot instead of the campaign deadlocking or serializing behind
+	// the backoff.
+	eng := sim.New()
+	jobs := []Job{flakyJob("flaky", 1, 1), flakyJob("ready", 0, 1)}
+	var c *metrics.Campaign
+	eng.Go("campaign", func(p *sim.Proc) {
+		c = New(eng, nil).RunRetry(p, jobs, Serial{}, Retry{MaxAttempts: 2, Backoff: 5})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// flaky attempt 1 [0,1]; ready runs [1,2]; flaky retries at 6, done 7.
+	if !near(c.JobStats[1].Finished, 2) {
+		t.Fatalf("ready finished = %v, want 2 (slot released during backoff)", c.JobStats[1].Finished)
+	}
+	if !near(c.JobStats[0].Finished, 7) {
+		t.Fatalf("flaky finished = %v, want 7", c.JobStats[0].Finished)
+	}
+}
+
+func TestRetryZeroBudgetIsTerminal(t *testing.T) {
+	eng := sim.New()
+	jobs := []Job{flakyJob("fail", 1, 1)}
+	var c *metrics.Campaign
+	eng.Go("campaign", func(p *sim.Proc) {
+		c = New(eng, nil).Run(p, jobs, Serial{})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.JobStats[0].Exhausted || c.JobStats[0].Attempts != 1 {
+		t.Fatalf("attempts=%d exhausted=%v, want 1,true", c.JobStats[0].Attempts, c.JobStats[0].Exhausted)
 	}
 }

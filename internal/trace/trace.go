@@ -50,6 +50,20 @@ const (
 	// scenario runner while migrations are in flight. Detail names the
 	// sampled quantity (currently "dirty-bytes"); Value carries it.
 	KindSample
+	// KindFaultInjected marks a scripted fault firing (scenario layer).
+	// Detail names the fault kind; VM/Value identify the target when the
+	// fault addresses one.
+	KindFaultInjected
+	// KindMigrationAborted marks an in-flight migration being torn down by a
+	// fault. Detail holds the reason; Value the wire bytes wasted by the
+	// aborted attempt.
+	KindMigrationAborted
+	// KindMigrationRetried marks an aborted migration being re-admitted.
+	// Round carries the attempt number about to run (2 for the first retry).
+	KindMigrationRetried
+	// KindLinkCapacity marks a scheduled link-capacity change taking effect.
+	// Detail is the link name; Value the new capacity in bytes/s.
+	KindLinkCapacity
 )
 
 // String returns the kind's wire/report name.
@@ -75,6 +89,14 @@ func (k Kind) String() string {
 		return "campaign-finished"
 	case KindSample:
 		return "sample"
+	case KindFaultInjected:
+		return "fault-injected"
+	case KindMigrationAborted:
+		return "migration-aborted"
+	case KindMigrationRetried:
+		return "migration-retried"
+	case KindLinkCapacity:
+		return "link-capacity"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }

@@ -46,4 +46,16 @@ const (
 	// KindSample: periodic degradation sample (Detail = "dirty-bytes",
 	// Value = the sampled quantity). Enabled by WithSampleInterval.
 	KindSample = trace.KindSample
+	// KindFaultInjected: a scripted fault fired (Detail = fault kind, VM =
+	// target when the fault addresses one).
+	KindFaultInjected = trace.KindFaultInjected
+	// KindMigrationAborted: a fault tore an in-flight migration down
+	// (Value = wire bytes the aborted attempt wasted).
+	KindMigrationAborted = trace.KindMigrationAborted
+	// KindMigrationRetried: an aborted migration was re-admitted (Round =
+	// the attempt number about to run).
+	KindMigrationRetried = trace.KindMigrationRetried
+	// KindLinkCapacity: a scheduled link-capacity change took effect
+	// (Detail = link name, Value = new capacity in bytes/s).
+	KindLinkCapacity = trace.KindLinkCapacity
 )

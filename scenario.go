@@ -34,6 +34,39 @@ const (
 // the campaign's policy admits it.
 type Step = scenario.Step
 
+// FaultSpec schedules one injected fault: a destination crash or migration
+// deadline (abort faults, addressed by VM), or a link/fabric degradation
+// (addressed by Node/Factor/Duration). See the FaultKind constants.
+type FaultSpec = scenario.FaultSpec
+
+// FaultKind names an injectable fault family.
+type FaultKind = scenario.FaultKind
+
+// The injectable fault kinds.
+const (
+	// FaultDestCrash crashes the destination of the named VM's in-flight
+	// migration: transfers are canceled, destination state is discarded,
+	// and the VM keeps running at (or falls back to) the source.
+	FaultDestCrash = scenario.FaultDestCrash
+	// FaultDeadline aborts the named VM's migration if still in flight at
+	// the fault time — the operator's "took too long" cutoff.
+	FaultDeadline = scenario.FaultDeadline
+	// FaultLinkDegrade scales a node's NIC bandwidth by Factor for
+	// Duration seconds (Factor 0 is a blackout).
+	FaultLinkDegrade = scenario.FaultLinkDegrade
+	// FaultFabricDegrade scales the shared switch fabric the same way.
+	FaultFabricDegrade = scenario.FaultFabricDegrade
+)
+
+// TrafficSpec declares one background cross-traffic source competing with
+// migrations for NIC and fabric bandwidth between Start and Stop.
+type TrafficSpec = scenario.TrafficSpec
+
+// RetrySpec bounds re-admission of fault-aborted migrations: MaxAttempts
+// per migration, Backoff seconds before a retry, scaled by Factor each
+// further attempt. The zero value disables retries.
+type RetrySpec = scenario.RetrySpec
+
 // Result is what Scenario.Run returns: per-VM migration/downtime stats and
 // workload counters, campaign aggregates, and per-tag network traffic.
 type Result = scenario.Result
@@ -100,3 +133,18 @@ func WithSampleInterval(d float64) Option { return scenario.WithSampleInterval(d
 // Result.SeedCapture, rendering every measured float64 with %x so golden
 // tests can diff runs bit for bit.
 func WithSeedCapture() Option { return scenario.WithSeedCapture() }
+
+// WithFaults schedules injected faults (destination crashes, migration
+// deadlines, link/fabric degradations). Fault times and degradation windows
+// must fit inside the horizon.
+func WithFaults(fs ...FaultSpec) Option { return scenario.WithFaults(fs...) }
+
+// WithBackgroundTraffic adds persistent cross-tenant traffic generators
+// that compete with migrations for bandwidth, reported under the
+// "background" traffic tag.
+func WithBackgroundTraffic(ts ...TrafficSpec) Option { return scenario.WithBackgroundTraffic(ts...) }
+
+// WithRetry gives fault-aborted migrations a bounded retry budget with
+// backoff; without it every abort is terminal. Applies to timed migrations
+// and campaigns alike.
+func WithRetry(r RetrySpec) Option { return scenario.WithRetry(r) }
