@@ -8,13 +8,21 @@
 //
 // Usage:
 //
-//	migsim [-approach our-approach|mirror|postcopy|precopy|pvfs-shared]
+//	migsim [-approach <strategy>] [-list]
 //	       [-workload ior|asyncwr|none] [-scale small|paper] [-warmup s]
+//	       [-threshold n]
 //	       [-vms n] [-policy all-at-once|serial|batched-k|cycle-aware] [-k n]
 //	       [-crash-at s] [-retries n] [-retry-backoff s]
 //	       [-degrade-at s] [-degrade-dur s] [-degrade-factor f]
 //	       [-bg-rate MB/s] [-bg-stop s]
 //	       [-trace] [-json]
+//
+// -approach accepts any registered storage transfer strategy — the paper's
+// five (our-approach, mirror, postcopy, precopy, pvfs-shared) plus the
+// adaptive-threshold hybrid ("adaptive"); -list prints the registry and
+// exits. -threshold overrides the Algorithm 1 write-count cutoff for
+// push-based strategies, making the paper's threshold ablation runnable from
+// the CLI.
 //
 // Degraded-mode flags: -crash-at injects a destination crash into the first
 // VM's migration at the given time (give it a retry budget with -retries);
@@ -32,10 +40,12 @@ import (
 )
 
 func main() {
-	approachName := flag.String("approach", "our-approach", "storage transfer approach")
+	approachName := flag.String("approach", "our-approach", "storage transfer strategy (see -list)")
+	listStrategies := flag.Bool("list", false, "list the registered strategies and exit")
 	workloadName := flag.String("workload", "ior", "guest workload: ior, asyncwr, none")
 	scaleName := flag.String("scale", "small", "small or paper")
 	warmup := flag.Float64("warmup", -1, "seconds before the migration (default: scale's warm-up)")
+	threshold := flag.Int("threshold", -1, "Algorithm 1 write-count cutoff for push-based strategies (-1 = default)")
 	vms := flag.Int("vms", 1, "number of VMs; > 1 runs an orchestrated campaign")
 	policyName := flag.String("policy", "batched-k", "campaign policy: all-at-once, serial, batched-k, cycle-aware")
 	batchK := flag.Int("k", 2, "admission width for the batched-k and cycle-aware policies")
@@ -56,15 +66,26 @@ func main() {
 		bgRate: *bgRate, bgStop: *bgStop,
 	}
 
+	if *listStrategies {
+		for _, a := range hybridmig.Strategies() {
+			desc, _ := hybridmig.StrategyDescription(a)
+			fmt.Printf("%-14s %s\n", a, desc)
+		}
+		return
+	}
 	var approach hybridmig.Approach
-	for _, a := range hybridmig.Approaches() {
+	for _, a := range hybridmig.Strategies() {
 		if string(a) == *approachName {
 			approach = a
 		}
 	}
 	if approach == "" {
-		fmt.Fprintf(os.Stderr, "migsim: unknown approach %q\n", *approachName)
+		fmt.Fprintf(os.Stderr, "migsim: unknown strategy %q (run migsim -list for the registry)\n", *approachName)
 		os.Exit(2)
+	}
+	var common []hybridmig.Option
+	if *threshold >= 0 {
+		common = append(common, hybridmig.WithThreshold(uint32(*threshold)))
 	}
 	scale := hybridmig.ScaleSmall
 	if *scaleName == "paper" {
@@ -86,11 +107,11 @@ func main() {
 			os.Exit(2)
 		}
 		runCampaign(scale, approach, *workloadName, *warmup, *vms, pol, *traceRun, *jsonOut,
-			df.options("vm00", *vms, *vms+(*vms+1)/2))
+			append(common, df.options("vm00", *vms, *vms+(*vms+1)/2)...))
 		return
 	}
 	runSingle(scale, approach, *workloadName, *warmup, *traceRun, *jsonOut,
-		df.options("vm0", 1, 10))
+		append(common, df.options("vm0", 1, 10)...))
 }
 
 // degradedFlags bundles the fault/traffic/retry flags.
@@ -288,9 +309,11 @@ func runSingle(scale hybridmig.Scale, approach hybridmig.Approach, workloadName 
 		fmt.Printf("block migration: %.1f MB\n", vm.BlockBytes/(1<<20))
 	}
 	st := vm.Core
-	// The manager-backed approaches report transfer stats even when a run
-	// moved no chunks (e.g. -workload none still prefetches base content).
-	if approach == hybridmig.OurApproach || approach == hybridmig.Mirror || approach == hybridmig.Postcopy {
+	// Manager-backed strategies (completed core stats) report transfer stats
+	// even when a run moved no chunks (e.g. -workload none still prefetches
+	// base content); strategy-agnostic so registered strategies need no case
+	// here.
+	if st.Complete {
 		fmt.Printf("pushed:          %d chunks (%.1f MB)\n", st.PushedChunks, st.PushedBytes/(1<<20))
 		fmt.Printf("pulled:          %d background + %d on-demand (%.1f MB)\n",
 			st.PulledChunks, st.OnDemandPulls, (st.PulledBytes+st.OnDemandBytes)/(1<<20))

@@ -5,8 +5,12 @@
 //
 // Usage:
 //
-//	paperrepro [-experiment table1|fig3|fig4|fig5|campaign|all]
+//	paperrepro [-experiment table1|fig3|fig4|fig5|campaign|strategies|all]
 //	           [-scale small|paper] [-json]
+//
+// -experiment strategies lists the full storage-transfer strategy registry —
+// the paper's five approaches plus every strategy registered on top (the
+// adaptive-threshold hybrid) — with their Table 1 summary lines.
 //
 // At -scale paper the runs use the full Section 5 parameters (4 GB images
 // and RAM, 100 s warm-up, up to 30 concurrent migrations, 64 CM1 ranks);
@@ -22,10 +26,12 @@ import (
 
 	"github.com/hybridmig/hybridmig/internal/experiments"
 	"github.com/hybridmig/hybridmig/internal/metrics"
+	"github.com/hybridmig/hybridmig/internal/strategy"
+	_ "github.com/hybridmig/hybridmig/internal/strategy/adaptive" // register the sixth strategy
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "which artifact to regenerate: table1, fig3, fig4, fig5, campaign, all")
+	exp := flag.String("experiment", "all", "which artifact to regenerate: table1, fig3, fig4, fig5, campaign, strategies, all")
 	scaleName := flag.String("scale", "small", "run size: small or paper")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
 	flag.Parse()
@@ -95,6 +101,25 @@ func main() {
 				fmt.Println(t)
 			}
 			fmt.Printf("(fig5 %s scale: %.1fs wall)\n\n", scale, time.Since(start).Seconds())
+		}
+	}
+	if want("strategies") {
+		ran = true
+		names := strategy.Names()
+		if *jsonOut {
+			rows := make([]map[string]string, 0, len(names))
+			for _, n := range names {
+				d, _ := strategy.Describe(n)
+				rows = append(rows, map[string]string{"name": n, "description": d})
+			}
+			report["strategies"] = rows
+		} else {
+			t := metrics.NewTable("Registered storage-transfer strategies", "strategy", "description")
+			for _, n := range names {
+				d, _ := strategy.Describe(n)
+				t.AddRow(n, d)
+			}
+			fmt.Println(t)
 		}
 	}
 	if want("campaign") {

@@ -51,22 +51,47 @@ import (
 	"github.com/hybridmig/hybridmig/internal/scenario"
 	"github.com/hybridmig/hybridmig/internal/sched"
 	"github.com/hybridmig/hybridmig/internal/sim"
+	"github.com/hybridmig/hybridmig/internal/strategy"
+	"github.com/hybridmig/hybridmig/internal/strategy/adaptive"
 )
 
-// Approach names one of the five compared storage transfer strategies.
+// Approach names a registered storage transfer strategy.
 type Approach = cluster.Approach
 
-// The five approaches of the paper's Table 1.
+// The five approaches of the paper's Table 1, plus the adaptive-threshold
+// hybrid this reproduction adds on top (registered through the strategy
+// registry; see Strategies).
 const (
-	OurApproach = cluster.OurApproach
-	Mirror      = cluster.Mirror
-	Postcopy    = cluster.Postcopy
-	Precopy     = cluster.Precopy
-	PVFSShared  = cluster.PVFSShared
+	OurApproach          = cluster.OurApproach
+	Mirror               = cluster.Mirror
+	Postcopy             = cluster.Postcopy
+	Precopy              = cluster.Precopy
+	PVFSShared           = cluster.PVFSShared
+	Adaptive    Approach = adaptive.Name
 )
 
-// Approaches lists all five approaches in the paper's order.
+// Approaches lists the paper's five compared approaches in Table 1 order.
+// The full registered strategy set — including the adaptive hybrid — is
+// Strategies().
 func Approaches() []Approach { return cluster.Approaches() }
+
+// Strategies returns the name of every registered storage transfer strategy
+// in registration order: the five Table 1 approaches first, then every
+// strategy registered on top (the adaptive hybrid ships with this package).
+func Strategies() []Approach {
+	names := strategy.Names()
+	out := make([]Approach, len(names))
+	for i, n := range names {
+		out[i] = Approach(n)
+	}
+	return out
+}
+
+// StrategyDescription returns the registered summary line for a strategy
+// name, reporting ok=false for unregistered names.
+func StrategyDescription(a Approach) (desc string, ok bool) {
+	return strategy.Describe(string(a))
+}
 
 // Config assembles every knob of a simulated testbed. Pass one through
 // WithConfig to control the cluster beyond the per-scale defaults.

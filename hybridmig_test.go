@@ -65,6 +65,69 @@ func TestPublicAPIAllApproaches(t *testing.T) {
 	}
 }
 
+// TestPublicAPIStrategyRegistry pins the facade's registry surface: the
+// paper's five approaches lead the list, the adaptive hybrid ships on top,
+// and every entry resolves to a description.
+func TestPublicAPIStrategyRegistry(t *testing.T) {
+	all := hybridmig.Strategies()
+	if len(all) < 6 {
+		t.Fatalf("registry lists %d strategies, want the five approaches plus adaptive", len(all))
+	}
+	for i, a := range hybridmig.Approaches() {
+		if all[i] != a {
+			t.Fatalf("Strategies()[%d] = %s, want %s (Table 1 order first)", i, all[i], a)
+		}
+	}
+	found := false
+	for _, a := range all {
+		if a == hybridmig.Adaptive {
+			found = true
+		}
+		if d, ok := hybridmig.StrategyDescription(a); !ok || d == "" {
+			t.Errorf("strategy %s has no description", a)
+		}
+	}
+	if !found {
+		t.Fatal("adaptive strategy not registered through the facade")
+	}
+	if _, ok := hybridmig.StrategyDescription("warp-drive"); ok {
+		t.Fatal("StrategyDescription invented a strategy")
+	}
+}
+
+// TestPublicAPIThresholdAblation runs the same push-based scenario at two
+// static thresholds plus adaptive through WithThreshold and the registry:
+// the cutoff must change what the push phase defers (the paper's threshold
+// ablation axis), without breaking completion.
+func TestPublicAPIThresholdAblation(t *testing.T) {
+	run := func(a hybridmig.Approach, opts ...hybridmig.Option) *hybridmig.VMResult {
+		rw := hybridmig.DefaultRewriteParams()
+		s := hybridmig.NewScenario(append(opts, hybridmig.WithNodes(4))...).
+			AddVM(hybridmig.VMSpec{Name: "vm0", Node: 0, Approach: a,
+				Workload: hybridmig.Rewrite(&rw)}).
+			MigrateAt("vm0", 1, 3)
+		res, err := s.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		vm := res.VM("vm0")
+		if !vm.Migrated {
+			t.Fatalf("%s: migration incomplete", a)
+		}
+		return vm
+	}
+	loose := run(hybridmig.OurApproach, hybridmig.WithThreshold(1000))
+	tight := run(hybridmig.OurApproach, hybridmig.WithThreshold(1))
+	if tight.Core.SkippedHot <= loose.Core.SkippedHot {
+		t.Errorf("threshold 1 deferred %d chunks, threshold 1000 deferred %d — ablation has no effect",
+			tight.Core.SkippedHot, loose.Core.SkippedHot)
+	}
+	adaptive := run(hybridmig.Adaptive)
+	if adaptive.Core.PushedChunks+adaptive.Core.PulledChunks+adaptive.Core.OnDemandPulls == 0 {
+		t.Error("adaptive run moved no storage")
+	}
+}
+
 // TestPublicAPICampaign drives the orchestration surface end to end: a
 // four-VM fleet migrated as one campaign under each of the standard
 // policies, entirely through the facade.

@@ -1,9 +1,11 @@
 // Package cluster is the cloud middleware of the reproduction: it assembles
 // the testbed (compute nodes, repository, parallel file system), deploys VM
-// instances wired for one of the five compared approaches (Table 1 of the
-// paper), and orchestrates live migrations end to end — the storage
-// manager's MIGRATION REQUEST followed by the hypervisor's memory migration,
-// exactly as Section 4.3 prescribes.
+// instances provisioned through the storage-transfer strategy registry
+// (internal/strategy — the five compared approaches of Table 1 plus any
+// strategy registered on top), and orchestrates live migrations end to end —
+// the storage-side MIGRATION REQUEST followed by the hypervisor's memory
+// migration, exactly as Section 4.3 prescribes, with every per-approach
+// decision behind the strategy interface.
 package cluster
 
 import (
@@ -21,15 +23,17 @@ import (
 	"github.com/hybridmig/hybridmig/internal/pfs"
 	"github.com/hybridmig/hybridmig/internal/sched"
 	"github.com/hybridmig/hybridmig/internal/sim"
+	"github.com/hybridmig/hybridmig/internal/strategy"
 	"github.com/hybridmig/hybridmig/internal/trace"
 	"github.com/hybridmig/hybridmig/internal/vm"
 )
 
-// Approach names one of the five compared local-storage transfer strategies
-// (Table 1 of the paper).
+// Approach names a registered storage-transfer strategy (see
+// internal/strategy). The five Table 1 approaches have named constants; any
+// further registered strategy is addressed by its registry name.
 type Approach string
 
-// The five approaches of the evaluation.
+// The five approaches of the paper's evaluation.
 const (
 	OurApproach Approach = "our-approach"
 	Mirror      Approach = "mirror"
@@ -38,39 +42,21 @@ const (
 	PVFSShared  Approach = "pvfs-shared"
 )
 
-// Approaches lists all five in the paper's presentation order.
+// Approaches lists the paper's five compared approaches in the Table 1
+// presentation order. The full registered set — which may be larger — is
+// strategy.Names().
 func Approaches() []Approach {
 	return []Approach{OurApproach, Mirror, Postcopy, Precopy, PVFSShared}
 }
 
-// Description returns the Table 1 summary line for the approach.
+// Description returns the registered Table 1 summary line for the approach;
+// an unregistered approach reports the actual registered strategy names
+// instead of a silent "unknown".
 func (a Approach) Description() string {
-	switch a {
-	case OurApproach:
-		return "As presented in Section 4.3 (hybrid push/prioritized prefetch)"
-	case Mirror:
-		return "Sync writes both at src and dest"
-	case Postcopy:
-		return "Pull from src after transfer of control"
-	case Precopy:
-		return "Push to dest before transfer of control"
-	case PVFSShared:
-		return "Does not apply (All writes go to PVFS)"
+	if d, ok := strategy.Describe(string(a)); ok {
+		return d
 	}
-	return "unknown"
-}
-
-// coreMode maps an approach to a migration-manager mode.
-func (a Approach) coreMode() (core.Mode, bool) {
-	switch a {
-	case OurApproach:
-		return core.ModeHybrid, true
-	case Mirror:
-		return core.ModeMirror, true
-	case Postcopy:
-		return core.ModePostcopy, true
-	}
-	return 0, false
+	return fmt.Sprintf("unregistered strategy %q (registered: %s)", string(a), strategy.Registered())
 }
 
 // Config assembles every knob of a testbed.
@@ -188,12 +174,9 @@ type Instance struct {
 	VM       *vm.VM
 	Guest    *guest.Guest
 
-	// Exactly one of these backs the instance, depending on the approach.
-	Core   *core.Image
-	COW    *hv.COWImage
-	Shared *pfs.File // pvfs-shared snapshot file
-
-	sharedImg *hv.SharedImage
+	// Strategy is the per-VM storage-transfer strategy state backing the
+	// instance — one uniform handle instead of per-approach union fields.
+	Strategy strategy.Instance
 
 	// Migration measurements (filled by MigrateInstance).
 	Migrated      bool
@@ -211,33 +194,33 @@ type Instance struct {
 	abort *hv.Abort // in-flight attempt's cancellation handle, nil when idle
 }
 
-// managerOptions derives core options from the config.
-func (tb *Testbed) managerOptions(mode core.Mode) core.Options {
-	if tb.Cfg.ManagerOverride != nil {
-		o := *tb.Cfg.ManagerOverride
-		o.Mode = mode
-		o.Trace = tb.bus
-		return o
-	}
-	m := tb.Cfg.Manager
-	return core.Options{
-		Trace:              tb.bus,
-		Mode:               mode,
-		Threshold:          m.Threshold,
-		PushBatch:          m.PushBatch,
-		PullBatch:          m.PullBatch,
-		PullPriority:       true,
-		PullRequestLatency: m.PullRequestLatency,
-		BasePrefetch:       m.BasePrefetch,
-		BasePrefetchRate:   m.BasePrefetchRate,
-		DedupHashBytes:     1024,
+// strategyEnv assembles the provisioning environment strategies build
+// against.
+func (tb *Testbed) strategyEnv() strategy.Env {
+	return strategy.Env{
+		Eng:             tb.Eng,
+		Cl:              tb.Cl,
+		Geo:             tb.geo,
+		Base:            tb.baseBlob,
+		BasePFS:         tb.basePFS,
+		PFS:             tb.PFS,
+		Bus:             tb.bus,
+		HV:              tb.Cfg.HV,
+		Manager:         tb.Cfg.Manager,
+		ManagerOverride: tb.Cfg.ManagerOverride,
 	}
 }
 
-// Launch deploys an instance of the given approach on node nodeIdx. The
-// returned instance's guest is ready; its boot read runs as a process and
-// completes within the warm-up period.
+// Launch deploys an instance of the given approach on node nodeIdx,
+// provisioning its storage through the strategy registry. The returned
+// instance's guest is ready; its boot read runs as a process and completes
+// within the warm-up period.
 func (tb *Testbed) Launch(name string, nodeIdx int, approach Approach) *Instance {
+	def, ok := strategy.Lookup(string(approach))
+	if !ok {
+		panic(fmt.Sprintf("cluster: unregistered strategy %q (registered: %s)",
+			approach, strategy.Registered()))
+	}
 	node := tb.Cl.Nodes[nodeIdx]
 	cfg := tb.Cfg
 	mem := vm.NewMemory(cfg.Testbed.RAM, cfg.HV.MemPageSize)
@@ -245,36 +228,16 @@ func (tb *Testbed) Launch(name string, nodeIdx int, approach Approach) *Instance
 	v := vm.New(tb.Eng, name, node, mem, 2)
 
 	inst := &Instance{Name: name, Approach: approach, VM: v}
+	inst.Strategy = def.Provision(tb.strategyEnv(), name, node)
 	raw := &guest.RawDisk{Cl: tb.Cl, Node: func() *fabric.Node { return v.Node }, Geo: tb.geo}
-	gopts := guest.Options{HostCache: true, Buffered: true, Inner: raw}
-	switch approach {
-	case OurApproach, Mirror, Postcopy:
-		mode, _ := approach.coreMode()
-		gopts.MakeImage = func(backing vm.DiskImage) vm.DiskImage {
-			inst.Core = core.NewImage(tb.Eng, tb.Cl, node, tb.geo, tb.baseBlob,
-				backing, tb.managerOptions(mode), name)
-			return inst.Core
-		}
-	case Precopy:
-		gopts.MakeImage = func(backing vm.DiskImage) vm.DiskImage {
-			inst.COW = hv.NewCOWImage(tb.Cl, node, tb.geo, tb.basePFS, backing)
-			return inst.COW
-		}
-	case PVFSShared:
-		snap := tb.PFS.Create(name+".qcow2", cfg.Testbed.ImageSize)
-		inst.Shared = snap
-		inst.sharedImg = hv.NewSharedImage(tb.Cl, node, tb.geo, tb.basePFS, snap)
-		gopts.HostCache = false // shared-storage migration mandates cache=none
-		gopts.MakeImage = func(vm.DiskImage) vm.DiskImage { return inst.sharedImg }
-	default:
-		panic(fmt.Sprintf("cluster: unknown approach %q", approach))
+	gopts := guest.Options{
+		HostCache: inst.Strategy.HostCache(),
+		Buffered:  true,
+		Inner:     raw,
+		MakeImage: inst.Strategy.MakeImage,
 	}
 	inst.Guest = guest.New(tb.Eng, v, cfg.Guest, gopts)
-	if inst.Core != nil {
-		// Chunks installed at the destination transit its host RAM and are
-		// therefore cache-warm there.
-		inst.Core.OnDestInstall = inst.Guest.Cache.MarkCachedRange
-	}
+	inst.Strategy.AttachGuest(inst.Guest)
 
 	if cfg.BootRead > 0 {
 		tb.Eng.Go(name+"/boot", func(p *sim.Proc) {
@@ -300,12 +263,11 @@ func (tb *Testbed) Instances() []*Instance { return tb.instances }
 var ErrMigrationAborted = errors.New("cluster: migration aborted by injected fault")
 
 // MigrateInstance live-migrates inst to the node at dstIdx, blocking until
-// the migration fully completes per the approach's own definition of
+// the migration fully completes per the strategy's own definition of
 // migration time (Section 5.2): control transfer for precopy, mirror and
-// pvfs-shared; source release for our-approach and postcopy. When a fault
-// aborts the attempt (see AbortMigration) it returns ErrMigrationAborted
-// with the VM live at the source and the wasted traffic accumulated on the
-// instance.
+// pvfs-shared; source release for the push/pull schemes. When a fault aborts
+// the attempt (see AbortMigration) it returns ErrMigrationAborted with the
+// VM live at the source and the wasted traffic accumulated on the instance.
 func (tb *Testbed) MigrateInstance(p *sim.Proc, inst *Instance, dstIdx int) error {
 	dst := tb.Cl.Nodes[dstIdx]
 	src := inst.VM.Node
@@ -322,75 +284,13 @@ func (tb *Testbed) MigrateInstance(p *sim.Proc, inst *Instance, dstIdx int) erro
 	// performance" is precisely this resource consumption).
 	inst.VM.SetCPUSteal(tb.Cfg.HV.CPUSteal)
 	defer inst.VM.SetCPUSteal(0)
-	aborted := false
-	switch inst.Approach {
-	case OurApproach, Postcopy, Mirror:
-		inst.Core.MigrationRequest(dst)
-		var stopGate *sim.Gate
-		if inst.Approach == Mirror {
-			stopGate = inst.Core.BulkDoneGate()
-		}
-		inst.HVResult = hv.MigrateAbortable(p, tb.Cl, inst.VM, dst, tb.Cfg.HV, nil, stopGate, tb.bus, inst.abort)
-		if inst.HVResult.Aborted {
-			// Fault before control transfer: the VM never left the source
-			// and the manager (aborted by the same fault) already rolled
-			// its storage state back.
-			aborted = true
-			break
-		}
-		// The destination host cache starts cold except for the content the
-		// migration itself moved through its RAM.
-		inst.Guest.Cache.Invalidate()
-		inst.Core.ForEachLocalRange(inst.Guest.Cache.MarkCachedRange)
-		inst.Core.WaitComplete(p)
-		if !inst.Core.Complete() {
-			// Fault during the pull phase: the destination crashed after
-			// going live. Storage control fell back to the intact source
-			// replica; the VM restarts there from its source-side state.
-			aborted = true
-			inst.VM.MoveTo(src)
-			inst.Guest.Cache.Invalidate()
-			inst.Core.ForEachLocalRange(inst.Guest.Cache.MarkCachedRange)
-			break
-		}
-		inst.CoreStats = inst.Core.Stats()
-		if inst.Approach == Mirror {
-			inst.MigrationTime = inst.HVResult.ControlTransfer - start
-		} else {
-			// Until every resource is available at the destination: the
-			// later of source release (storage) and control transfer
-			// (memory), per the Section 2 definition.
-			end := inst.CoreStats.ReleasedAt
-			if inst.HVResult.ControlTransfer > end {
-				end = inst.HVResult.ControlTransfer
-			}
-			inst.MigrationTime = end - start
-		}
-	case Precopy:
-		inst.HVResult = hv.MigrateAbortable(p, tb.Cl, inst.VM, dst, tb.Cfg.HV, inst.COW, nil, tb.bus, inst.abort)
-		if inst.HVResult.Aborted {
-			aborted = true
-			break
-		}
-		inst.COW.MoveTo(dst)
-		inst.Guest.Cache.Invalidate()
-		inst.COW.ForEachLocalRange(inst.Guest.Cache.MarkCachedRange)
-		inst.MigrationTime = inst.HVResult.ControlTransfer - start
-	case PVFSShared:
-		inst.HVResult = hv.MigrateAbortable(p, tb.Cl, inst.VM, dst, tb.Cfg.HV, nil, nil, tb.bus, inst.abort)
-		if inst.HVResult.Aborted {
-			aborted = true
-			break
-		}
-		inst.sharedImg.MoveTo(dst)
-		inst.MigrationTime = inst.HVResult.ControlTransfer - start
-	}
-	if aborted {
+	out := inst.Strategy.Migrate(&strategy.Migration{
+		P: p, VM: inst.VM, Src: src, Dst: dst, Start: start, Abort: inst.abort,
+	})
+	inst.HVResult = out.HV
+	if out.Aborted {
 		inst.Aborts++
-		wasted := inst.HVResult.MemoryBytes + inst.HVResult.BlockBytes
-		if inst.Core != nil {
-			wasted += inst.Core.Stats().WireBytes()
-		}
+		wasted := out.HV.MemoryBytes + out.HV.BlockBytes + out.StorageWasted
 		inst.AbortedBytes += wasted
 		if tb.bus.Active() {
 			tb.bus.Emit(trace.Event{Time: tb.Eng.Now(), Kind: trace.KindMigrationAborted,
@@ -398,6 +298,8 @@ func (tb *Testbed) MigrateInstance(p *sim.Proc, inst *Instance, dstIdx int) erro
 		}
 		return ErrMigrationAborted
 	}
+	inst.CoreStats = inst.Strategy.Stats()
+	inst.MigrationTime = out.MigrationTime
 	inst.Migrated = true
 	if tb.bus.Active() {
 		tb.bus.Emit(trace.Event{Time: tb.Eng.Now(), Kind: trace.KindMigrationCompleted,
@@ -408,25 +310,22 @@ func (tb *Testbed) MigrateInstance(p *sim.Proc, inst *Instance, dstIdx int) erro
 }
 
 // AbortMigration injects a fault into inst's in-flight migration: the
-// storage manager rolls back (destination state released, I/O control kept
-// at or returned to the source) and the hypervisor transfer unwinds. Reports
-// whether a migration was actually in flight to abort.
+// strategy tears its storage state down (destination state released, I/O
+// control kept at or returned to the source) and the hypervisor transfer
+// unwinds. Reports whether a migration was actually in flight to abort.
 //
-// For manager-backed approaches the storage migration is the point of no
-// return: once the manager has fully completed (source released), aborting
-// only the final memory copy would strand storage at the destination while
-// the VM restarts at the source, so a fault landing in that tail is "too
-// late" and the migration is allowed to finish.
+// A strategy may veto the fault by returning false from Abort — for
+// manager-backed strategies the storage migration is the point of no return:
+// once the manager has fully completed (source released), aborting only the
+// final memory copy would strand storage at the destination while the VM
+// restarts at the source, so a fault landing in that tail is "too late" and
+// the migration is allowed to finish.
 func (tb *Testbed) AbortMigration(inst *Instance, reason string) bool {
 	if inst.abort == nil || inst.abort.Aborted() {
 		return false // no attempt in flight (or this one is already dying)
 	}
-	if inst.Core != nil {
-		if !inst.Core.Abort(reason) {
-			return false // storage not abortable: idle or already complete
-		}
-		inst.abort.Trigger()
-		return true
+	if !inst.Strategy.Abort(reason) {
+		return false // storage not abortable: idle or already complete
 	}
 	inst.abort.Trigger()
 	return true

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"strings"
 	"testing"
 
 	"github.com/hybridmig/hybridmig/internal/flow"
@@ -8,6 +9,7 @@ import (
 	"github.com/hybridmig/hybridmig/internal/params"
 	"github.com/hybridmig/hybridmig/internal/sched"
 	"github.com/hybridmig/hybridmig/internal/sim"
+	"github.com/hybridmig/hybridmig/internal/strategy"
 )
 
 func smallTB() *Testbed {
@@ -191,12 +193,24 @@ func TestSuccessiveMigrationsOfDifferentVMs(t *testing.T) {
 
 func TestTable1Descriptions(t *testing.T) {
 	for _, a := range Approaches() {
-		if a.Description() == "unknown" {
-			t.Fatalf("approach %s has no description", a)
+		d, ok := strategy.Describe(string(a))
+		if !ok {
+			t.Fatalf("approach %s is not in the strategy registry", a)
+		}
+		if a.Description() != d {
+			t.Fatalf("approach %s description diverges from the registry", a)
 		}
 	}
 	if len(Approaches()) != 5 {
 		t.Fatal("the paper compares exactly five approaches")
+	}
+	// An unregistered approach must name the registered strategies instead
+	// of reporting a silent "unknown".
+	desc := Approach("warp-drive").Description()
+	for _, name := range strategy.Names() {
+		if !strings.Contains(desc, name) {
+			t.Fatalf("unregistered-approach description %q omits %q", desc, name)
+		}
 	}
 }
 

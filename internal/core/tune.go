@@ -1,0 +1,50 @@
+package core
+
+import "github.com/hybridmig/hybridmig/internal/chunk"
+
+// Runtime tuning and observability hooks of the migration manager. These are
+// generic knobs: the ablation bench sweeps the threshold statically, and
+// strategies layered on the manager (the adaptive-threshold hybrid) retune
+// it while a push phase runs.
+
+// Threshold returns the currently effective Algorithm 1 write-count cutoff.
+func (im *Image) Threshold() uint32 { return im.opts.Threshold }
+
+// SetThreshold replaces the Algorithm 1 write-count cutoff. Chunks are
+// classified against the new value from the next batch scan on; raising it
+// during an active push phase makes previously hot chunks eligible again, so
+// a push loop parked on an empty eligible set is woken to rescan.
+func (im *Image) SetThreshold(t uint32) {
+	if t == im.opts.Threshold {
+		return
+	}
+	im.opts.Threshold = t
+	if im.state == stPushing && !im.mirrorActive && !im.syncSeen {
+		im.pushCond.Broadcast(im.eng)
+	}
+}
+
+// MigrationEpoch returns the image's attempt counter: MigrationRequest and
+// Abort each advance it. Processes serving one attempt capture it first and
+// stand down when it moves — the guard every manager task uses, exposed so
+// controllers layered on the manager (threshold adaptation) can use the
+// same discipline instead of surviving an abort into the next attempt.
+func (im *Image) MigrationEpoch() uint64 { return im.migEpoch }
+
+// PushHeat folds fn over the per-chunk write counts observed since the
+// migration request — the write-heat distribution Algorithm 1's threshold
+// cuts. A fold (rather than a snapshot copy) keeps periodic resamplers
+// allocation-free at paper scale (~64Ki chunks per image). It reports false
+// without calling fn when no push-phase source is live (idle, mirror, after
+// control transfer, or aborted), which is the signal for adaptive samplers
+// to stand down.
+func (im *Image) PushHeat(fn func(count uint32)) bool {
+	if im.state != stPushing || im.syncSeen || im.mirrorActive || im.writeCount == nil {
+		return false
+	}
+	wc := im.writeCount
+	for c := 0; c < wc.Len(); c++ {
+		fn(wc.Get(chunk.Idx(c)))
+	}
+	return true
+}

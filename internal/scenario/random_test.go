@@ -11,6 +11,7 @@ import (
 	"github.com/hybridmig/hybridmig/internal/cluster"
 	"github.com/hybridmig/hybridmig/internal/flow"
 	"github.com/hybridmig/hybridmig/internal/sched"
+	"github.com/hybridmig/hybridmig/internal/strategy"
 )
 
 // TestRandomScenarioInvariants is the randomized invariant harness: a
@@ -76,8 +77,13 @@ func randomScenario(seed int64) (*Scenario, planInfo) {
 	retry := RetrySpec{MaxAttempts: 2 + rng.Intn(2), Backoff: 0.5 + rng.Float64()}
 	opts := []Option{WithConfig(set.Cluster), WithSeedCapture(), WithRetry(retry)}
 
-	approaches := []cluster.Approach{cluster.OurApproach, cluster.Postcopy,
-		cluster.Mirror, cluster.OurApproach, cluster.Precopy, cluster.PVFSShared}
+	// Sample across the full strategy registry (not a hard-coded list), so
+	// every registered strategy — including ones linked in purely through
+	// the registration path, like adaptive — faces the randomized invariants.
+	var approaches []cluster.Approach
+	for _, n := range strategy.Names() {
+		approaches = append(approaches, cluster.Approach(n))
+	}
 	names := make([]string, nVMs)
 	specs := make([]VMSpec, nVMs)
 	for i := range specs {

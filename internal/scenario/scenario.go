@@ -30,6 +30,7 @@ import (
 	"github.com/hybridmig/hybridmig/internal/params"
 	"github.com/hybridmig/hybridmig/internal/sched"
 	"github.com/hybridmig/hybridmig/internal/sim"
+	"github.com/hybridmig/hybridmig/internal/strategy"
 	"github.com/hybridmig/hybridmig/internal/trace"
 	"github.com/hybridmig/hybridmig/internal/workload"
 )
@@ -204,6 +205,7 @@ type options struct {
 	faults      []FaultSpec
 	traffic     []TrafficSpec
 	retry       RetrySpec
+	threshold   *uint32
 }
 
 // Option configures a Scenario.
@@ -272,6 +274,15 @@ func WithBackgroundTraffic(ts ...TrafficSpec) Option {
 // migration (or campaign job) backs off and re-runs until it completes or
 // exhausts r.MaxAttempts. Without it every abort is terminal.
 func WithRetry(r RetrySpec) Option { return func(o *options) { o.retry = r } }
+
+// WithThreshold overrides the Algorithm 1 write-count cutoff for every
+// push-based strategy in the run (the paper's threshold ablation): chunks
+// written at least t times during migration stop being pushed and wait for
+// the prioritized pull phase; t = 0 disables pushing outright (the whole
+// remaining set — chunks modified before the request included — waits for
+// the pull phase). Strategies that retune the cutoff online start from the
+// override; it has no effect on strategies without a push phase.
+func WithThreshold(t uint32) Option { return func(o *options) { o.threshold = &t } }
 
 // Scenario is a declarative description of one simulated session. Build it
 // with New, AddVM, MigrateAt and Campaign, then call Run.
@@ -364,14 +375,9 @@ func (s *Scenario) resolve() (cluster.Config, Setup, map[string]int, error) {
 		if v.Node < 0 {
 			return zero, Setup{}, nil, invalidf("VM %q on negative node %d", v.Name, v.Node)
 		}
-		valid := false
-		for _, a := range cluster.Approaches() {
-			if v.Approach == a {
-				valid = true
-			}
-		}
-		if !valid {
-			return zero, Setup{}, nil, invalidf("VM %q uses unknown approach %q", v.Name, v.Approach)
+		if _, ok := strategy.Lookup(string(v.Approach)); !ok {
+			return zero, Setup{}, nil, invalidf("VM %q uses unregistered strategy %q (registered: %s)",
+				v.Name, v.Approach, strategy.Registered())
 		}
 		if s.opt.cm1 != nil && v.Workload.Kind != WorkloadNone {
 			return zero, Setup{}, nil, invalidf("VM %q declares a workload but WithCM1 runs one rank per VM", v.Name)
@@ -509,6 +515,14 @@ func (s *Scenario) resolve() (cluster.Config, Setup, map[string]int, error) {
 	cfg := set.Cluster
 	if s.opt.config != nil {
 		cfg = *s.opt.config
+	}
+	if s.opt.threshold != nil {
+		cfg.Manager.Threshold = *s.opt.threshold
+		if cfg.ManagerOverride != nil {
+			o := *cfg.ManagerOverride
+			o.Threshold = *s.opt.threshold
+			cfg.ManagerOverride = &o
+		}
 	}
 	if top := s.maxNodeIndex(); top >= cfg.Nodes {
 		return zero, Setup{}, nil, invalidf("node index %d out of range (testbed has %d nodes)", top, cfg.Nodes)

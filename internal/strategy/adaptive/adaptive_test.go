@@ -1,0 +1,111 @@
+package adaptive
+
+import (
+	"testing"
+
+	"github.com/hybridmig/hybridmig/internal/strategy"
+)
+
+// TestRegistered checks the package's only integration point: init must have
+// placed the strategy in the public registry with a description.
+func TestRegistered(t *testing.T) {
+	d, ok := strategy.Lookup(Name)
+	if !ok {
+		t.Fatalf("strategy %q not registered", Name)
+	}
+	if d.Description == "" || d.Provision == nil {
+		t.Fatal("adaptive registered incompletely")
+	}
+}
+
+// TestEstimateThreshold exercises the quantile estimator on hand-built
+// write-heat distributions.
+func TestEstimateThreshold(t *testing.T) {
+	cases := []struct {
+		name    string
+		counts  []uint32
+		hotFrac float64
+		want    uint32
+		ok      bool
+	}{
+		{
+			// Nothing written yet: keep the current threshold.
+			name: "empty", counts: make([]uint32, 64), hotFrac: 0.1, ok: false,
+		},
+		{
+			// 90 cold chunks written once, 10 hot chunks written 20 times:
+			// the 10% budget admits exactly the hot tail, so the cutoff
+			// lands right above the cold mass.
+			name: "bimodal", counts: heat(90, 1, 10, 20), hotFrac: 0.1, want: 2, ok: true,
+		},
+		{
+			// Same distribution with a 5% budget: the 20-count tail (10% of
+			// written chunks) no longer fits, so the cutoff moves above it.
+			name: "tight budget", counts: heat(90, 1, 10, 20), hotFrac: 0.05, want: 21, ok: true,
+		},
+		{
+			// Flat heat: no chunk is hotter than the rest, the cutoff lands
+			// above every observed count and everything keeps streaming.
+			name: "flat", counts: heat(100, 5, 0, 0), hotFrac: 0.1, want: 6, ok: true,
+		},
+		{
+			// Counts past the cap collapse into one bucket.
+			name: "capped", counts: heat(90, 1, 10, MaxThreshold+100), hotFrac: 0.1, want: 2, ok: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := EstimateThreshold(tc.counts, tc.hotFrac)
+			if ok != tc.ok || (ok && got != tc.want) {
+				t.Fatalf("EstimateThreshold = %d, %v; want %d, %v", got, ok, tc.want, tc.ok)
+			}
+		})
+	}
+}
+
+// TestEstimateKeepsHotShareWithinBudget property-checks the estimator's
+// contract on a family of synthetic distributions: the chunks at or above
+// the returned cutoff never exceed the budget, and the cutoff is minimal.
+func TestEstimateKeepsHotShareWithinBudget(t *testing.T) {
+	for _, dist := range [][]uint32{
+		heat(50, 1, 50, 2),
+		heat(10, 3, 90, 4),
+		heat(500, 1, 3, 40),
+		heat(1, 7, 0, 0),
+	} {
+		cut, ok := EstimateThreshold(dist, HotFraction)
+		if !ok {
+			t.Fatal("estimator gave up on a written distribution")
+		}
+		hotAt := func(c uint32) int {
+			n := 0
+			for _, v := range dist {
+				if v >= c {
+					n++
+				}
+			}
+			return n
+		}
+		written := hotAt(1)
+		budget := int(HotFraction * float64(written))
+		if got := hotAt(cut); got > budget {
+			t.Errorf("cutoff %d leaves %d hot chunks, budget %d", cut, got, budget)
+		}
+		if cut > 1 && hotAt(cut-1) <= budget {
+			t.Errorf("cutoff %d is not minimal: %d would already fit", cut, cut-1)
+		}
+	}
+}
+
+// heat builds a write-count slice: na chunks written a times followed by nb
+// chunks written b times (plus some never-written padding).
+func heat(na int, a uint32, nb int, b uint32) []uint32 {
+	out := make([]uint32, 0, na+nb+16)
+	for i := 0; i < na; i++ {
+		out = append(out, a)
+	}
+	for i := 0; i < nb; i++ {
+		out = append(out, b)
+	}
+	return append(out, make([]uint32, 16)...)
+}

@@ -1,0 +1,117 @@
+package adaptive_test
+
+import (
+	"testing"
+
+	"github.com/hybridmig/hybridmig/internal/cluster"
+	"github.com/hybridmig/hybridmig/internal/params"
+	"github.com/hybridmig/hybridmig/internal/sim"
+	"github.com/hybridmig/hybridmig/internal/strategy"
+	"github.com/hybridmig/hybridmig/internal/strategy/adaptive"
+)
+
+// TestControllerRetunesThresholdDuringPush drives an adaptive-strategy VM
+// with a skewed write-heat workload (a wide cold write plus a small region
+// rewritten continuously) through a live migration and checks that the
+// controller actually moved the Algorithm 1 cutoff away from the static
+// default while the push phase ran, and that the migration still completed.
+// The instance is reached through the middleware exactly as any registered
+// strategy is — nothing here is adaptive-specific except the assertions.
+func TestControllerRetunesThresholdDuringPush(t *testing.T) {
+	cfg := cluster.SmallConfig(4)
+	tb := cluster.New(cfg)
+	inst := tb.Launch("vm0", 0, cluster.Approach(adaptive.Name))
+
+	managed, ok := inst.Strategy.(*strategy.Managed)
+	if !ok {
+		t.Fatalf("adaptive instance is %T, want *strategy.Managed", inst.Strategy)
+	}
+
+	tb.Eng.Go("workload", func(p *sim.Proc) {
+		f := inst.Guest.FS.Create("data", 96*params.MB)
+		inst.Guest.FS.Write(p, f, 0, 64*params.MB) // wide cold prefix
+		for i := 0; i < 200; i++ {
+			inst.Guest.FS.Write(p, f, 64*params.MB, 1*params.MB) // hot region
+			p.Sleep(0.05)
+		}
+	})
+	var thrBefore, thrAfter uint32
+	tb.Eng.Go("middleware", func(p *sim.Proc) {
+		p.Sleep(2)
+		thrBefore = managed.Image().Threshold()
+		tb.MigrateInstance(p, inst, 1)
+		thrAfter = managed.Image().Threshold()
+	})
+	if err := tb.Eng.RunUntil(1e5); err != nil {
+		t.Fatal(err)
+	}
+	tb.Eng.Shutdown()
+
+	if !inst.Migrated {
+		t.Fatal("adaptive migration never completed")
+	}
+	if thrBefore != cfg.Manager.Threshold {
+		t.Fatalf("pre-migration threshold = %d, want the configured %d", thrBefore, cfg.Manager.Threshold)
+	}
+	if thrAfter == thrBefore {
+		t.Fatalf("controller never moved the threshold off %d under a skewed write-heat workload", thrBefore)
+	}
+}
+
+// TestStaleControllerDiesAcrossFastRetry pins the per-attempt contract of
+// the resampling controller: when an abort lands while the controller is
+// asleep and a retry re-enters the push phase before its next wake (retry
+// backoff shorter than ResampleInterval), the stale controller must stand
+// down at that wake instead of running alongside the retry's own controller.
+// The timeline is built so the only process transition between the two
+// probes is that one wake: abort at 2.6 (mid-sleep: controller wakes on the
+// 0.25 s grid from the 2.0 s request), retry at 2.65, probes at 2.70 and
+// 2.80 bracketing the stale wake at 2.75.
+func TestStaleControllerDiesAcrossFastRetry(t *testing.T) {
+	tb := cluster.New(cluster.SmallConfig(4))
+	inst := tb.Launch("vm0", 0, cluster.Approach(adaptive.Name))
+
+	tb.Eng.Go("workload", func(p *sim.Proc) {
+		f := inst.Guest.FS.Create("data", 96*params.MB)
+		inst.Guest.FS.Write(p, f, 0, 64*params.MB)
+		for i := 0; i < 200; i++ {
+			inst.Guest.FS.Write(p, f, 64*params.MB, 1*params.MB)
+			p.Sleep(0.05)
+		}
+	})
+	var firstErr, retryErr error
+	tb.Eng.Go("middleware", func(p *sim.Proc) {
+		p.Sleep(2)
+		firstErr = tb.MigrateInstance(p, inst, 1)
+		if firstErr != nil {
+			p.Sleep(0.05) // fast retry: well inside ResampleInterval
+			retryErr = tb.MigrateInstance(p, inst, 1)
+		}
+	})
+	tb.Eng.At(2.6, func() {
+		if !tb.AbortMigration(inst, "dest-crash") {
+			t.Error("abort found nothing in flight")
+		}
+	})
+	var beforeWake, afterWake int
+	tb.Eng.At(2.70, func() { beforeWake = tb.Eng.LiveProcs() })
+	tb.Eng.At(2.80, func() { afterWake = tb.Eng.LiveProcs() })
+	if err := tb.Eng.RunUntil(1e5); err != nil {
+		t.Fatal(err)
+	}
+	tb.Eng.Shutdown()
+
+	if firstErr == nil {
+		t.Fatal("first attempt survived the injected crash")
+	}
+	if retryErr != nil {
+		t.Fatalf("retry failed: %v", retryErr)
+	}
+	if !inst.Migrated {
+		t.Fatal("retry never completed")
+	}
+	if afterWake != beforeWake-1 {
+		t.Fatalf("live processes %d -> %d across the stale controller's wake, want exactly one exit",
+			beforeWake, afterWake)
+	}
+}

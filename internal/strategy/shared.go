@@ -1,0 +1,58 @@
+package strategy
+
+import (
+	"github.com/hybridmig/hybridmig/internal/core"
+	"github.com/hybridmig/hybridmig/internal/fabric"
+	"github.com/hybridmig/hybridmig/internal/guest"
+	"github.com/hybridmig/hybridmig/internal/hv"
+	"github.com/hybridmig/hybridmig/internal/vm"
+)
+
+// sharedDescription is the Table 1 summary line of the pvfs-shared baseline.
+const sharedDescription = "Does not apply (All writes go to PVFS)"
+
+// provisionShared builds the pvfs-shared baseline instance. The snapshot
+// file is created at provision time (before the guest stack is assembled),
+// matching the original launch order.
+func provisionShared(env Env, vmName string, node *fabric.Node) Instance {
+	snap := env.PFS.Create(vmName+".qcow2", env.Geo.ImageSize)
+	return &shared{
+		env: env,
+		img: hv.NewSharedImage(env.Cl, node, env.Geo, env.BasePFS, snap),
+	}
+}
+
+// shared is the pvfs-shared baseline (Section 5.2.3): base image and COW
+// snapshot both live on the parallel file system, so migration moves memory
+// only — and every guest I/O crosses the network.
+type shared struct {
+	env Env
+	img *hv.SharedImage
+}
+
+var _ Instance = (*shared)(nil)
+
+// MakeImage implements Instance: the image lives on the PFS; the local
+// backing store is unused.
+func (s *shared) MakeImage(vm.DiskImage) vm.DiskImage { return s.img }
+
+// HostCache implements Instance: shared-storage migration mandates
+// cache=none.
+func (s *shared) HostCache() bool           { return false }
+func (s *shared) AttachGuest(*guest.Guest) {}
+
+// Migrate moves memory only; the shared data never moves.
+func (s *shared) Migrate(m *Migration) Outcome {
+	res := hv.MigrateAbortable(m.P, s.env.Cl, m.VM, m.Dst, s.env.HV, nil, nil, s.env.Bus, m.Abort)
+	if res.Aborted {
+		return Outcome{HV: res, Aborted: true}
+	}
+	s.img.MoveTo(m.Dst)
+	return Outcome{HV: res, MigrationTime: res.ControlTransfer - m.Start}
+}
+
+// Abort implements Instance: the PFS is always coherent, so there is never
+// storage state to veto on — the fault proceeds to the hypervisor abort.
+func (s *shared) Abort(reason string) bool { return true }
+
+func (s *shared) Stats() core.Stats { return core.Stats{} }

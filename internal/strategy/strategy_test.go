@@ -1,0 +1,80 @@
+package strategy
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hybridmig/hybridmig/internal/fabric"
+)
+
+// TestBuiltinsRegistered pins the five Table 1 strategies: present, in the
+// paper's presentation order, each with a description and a Provision hook.
+func TestBuiltinsRegistered(t *testing.T) {
+	want := []string{"our-approach", "mirror", "postcopy", "precopy", "pvfs-shared"}
+	names := Names()
+	if len(names) < len(want) {
+		t.Fatalf("registry has %d strategies, want at least the %d built-ins", len(names), len(want))
+	}
+	for i, w := range want {
+		if names[i] != w {
+			t.Fatalf("Names()[%d] = %q, want %q (Table 1 order)", i, names[i], w)
+		}
+		d, ok := Lookup(w)
+		if !ok {
+			t.Fatalf("Lookup(%q) missed", w)
+		}
+		if d.Provision == nil || d.Description == "" {
+			t.Errorf("%q registered incompletely", w)
+		}
+		desc, ok := Describe(w)
+		if !ok || desc != d.Description {
+			t.Errorf("Describe(%q) = %q, %v", w, desc, ok)
+		}
+	}
+}
+
+// TestLookupUnknown checks the miss path and that Registered() names every
+// strategy for error messages.
+func TestLookupUnknown(t *testing.T) {
+	if _, ok := Lookup("warp-drive"); ok {
+		t.Fatal("Lookup invented a strategy")
+	}
+	if _, ok := Describe("warp-drive"); ok {
+		t.Fatal("Describe invented a strategy")
+	}
+	reg := Registered()
+	for _, n := range Names() {
+		if !strings.Contains(reg, n) {
+			t.Errorf("Registered() %q omits %q", reg, n)
+		}
+	}
+}
+
+// TestRegisterRejectsBadDefinitions pins the programmer-error panics:
+// duplicates, empty names, and missing Provision hooks must fail loudly at
+// init time rather than shadow an existing strategy.
+func TestRegisterRejectsBadDefinitions(t *testing.T) {
+	mustPanic := func(name string, d Definition) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		Register(d)
+	}
+	prov := func(Env, string, *fabric.Node) Instance { return nil }
+	mustPanic("duplicate", Definition{Name: "our-approach", Description: "x", Provision: prov})
+	mustPanic("empty name", Definition{Description: "x", Provision: prov})
+	mustPanic("no provision", Definition{Name: "unprovisioned", Description: "x"})
+}
+
+// TestNamesIsACopy guards the registry against aliasing: mutating the
+// returned slice must not corrupt registration order.
+func TestNamesIsACopy(t *testing.T) {
+	a := Names()
+	a[0] = "scribbled"
+	if Names()[0] != "our-approach" {
+		t.Fatal("Names() exposed the registry's backing array")
+	}
+}

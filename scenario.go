@@ -148,3 +148,11 @@ func WithBackgroundTraffic(ts ...TrafficSpec) Option { return scenario.WithBackg
 // backoff; without it every abort is terminal. Applies to timed migrations
 // and campaigns alike.
 func WithRetry(r RetrySpec) Option { return scenario.WithRetry(r) }
+
+// WithThreshold overrides the Algorithm 1 write-count cutoff for every
+// push-based strategy in the run (the paper's threshold ablation): chunks
+// written at least t times during migration wait for the prioritized pull
+// phase instead of being pushed, and t = 0 disables pushing outright. It
+// also seeds the adaptive strategy's starting point and has no effect on
+// strategies without a push phase.
+func WithThreshold(t uint32) Option { return scenario.WithThreshold(t) }
