@@ -7,7 +7,12 @@
 //
 // Usage:
 //
-//	benchreport [-scale small|paper] [-skip-experiments] [-o BENCH.json]
+//	benchreport [-scale small|paper] [-skip-experiments] [-parallel N] [-o BENCH.json]
+//
+// With -parallel != 0 the experiment drivers are timed twice — once serial,
+// once with N concurrent cells (-1 = GOMAXPROCS) — and a 10,000-VM campaign
+// smoke runs through the component-parallel scenario kernel, so BENCH.json
+// records the serial-vs-parallel trajectory side by side.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/hybridmig/hybridmig"
 	"github.com/hybridmig/hybridmig/internal/benchscen"
 	"github.com/hybridmig/hybridmig/internal/experiments"
 )
@@ -49,6 +55,7 @@ type Report struct {
 func main() {
 	scaleName := flag.String("scale", "small", "experiment scale: small or paper")
 	skipExp := flag.Bool("skip-experiments", false, "only run micro-benchmarks")
+	parallel := flag.Int("parallel", -1, "workers for the parallel experiment legs (-1 = GOMAXPROCS, 0 = serial legs only)")
 	out := flag.String("o", "BENCH.json", "output path")
 	flag.Parse()
 
@@ -89,6 +96,11 @@ func main() {
 	}
 	micro("sim/after-fire", benchscen.AfterFire)
 	micro("sim/timer-churn", benchscen.TimerChurn)
+	for _, shards := range []int{1, 4, 16} {
+		shards := shards
+		micro(fmt.Sprintf("sim/parallel-components-%d", shards),
+			func(b *testing.B) { benchscen.ParallelComponents(b, shards) })
+	}
 
 	if !*skipExp {
 		experiment := func(name string, run func()) {
@@ -99,7 +111,18 @@ func main() {
 			fmt.Printf("%-36s %12.1f s wall\n", name+"@"+e.Scale, e.WallSeconds)
 		}
 		experiment("fig4-concurrent-migrations", func() { experiments.RunFig4(scale) })
+		experiment("fig5-storage-migrations", func() { experiments.RunFig5(scale) })
 		experiment("campaign-all-policies", func() { experiments.RunCampaign(scale) })
+		if *parallel != 0 {
+			// Same drivers with concurrent cells; results are byte-identical,
+			// only the wall clock moves (by the core count of this machine).
+			experiments.SetParallel(*parallel)
+			experiment("fig4-concurrent-migrations-parallel", func() { experiments.RunFig4(scale) })
+			experiment("fig5-storage-migrations-parallel", func() { experiments.RunFig5(scale) })
+			experiment("campaign-all-policies-parallel", func() { experiments.RunCampaign(scale) })
+			experiments.SetParallel(0)
+		}
+		experiment("campaign-10k-vm-smoke", func() { tenKCampaignSmoke(*parallel) })
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -113,4 +136,37 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// tenKCampaignSmoke migrates 10,000 preseeded idle VMs across 5,000 disjoint
+// node pairs in one staggered wave at paper fidelity — the ROADMAP scale
+// target for policy studies. The switch fabric is widened past the planner's
+// transparency bound so the scenario decomposes into 5,000 independent
+// shards; workers selects the kernel (0 = serial fallback for a baseline).
+func tenKCampaignSmoke(workers int) {
+	const pairs = 5000
+	nodes := 2 * pairs
+	set := hybridmig.SetupFor(hybridmig.ScalePaper, nodes)
+	set.Cluster.Testbed.FabricBandwidth = 2 * float64(nodes) * set.Cluster.Testbed.NICBandwidth
+	opts := []hybridmig.Option{
+		hybridmig.WithConfig(set.Cluster),
+		hybridmig.WithPreseededImages(),
+	}
+	if workers != 0 {
+		opts = append(opts, hybridmig.WithParallel(workers))
+	}
+	s := hybridmig.NewScenario(opts...)
+	warmup := set.Cluster.Experiment.WarmupDelay
+	for p := 0; p < pairs; p++ {
+		src, dst := 2*p, 2*p+1
+		for v := 0; v < 2; v++ {
+			name := fmt.Sprintf("vm%d-%d", p, v)
+			s.AddVM(hybridmig.VMSpec{Name: name, Node: src, Approach: hybridmig.OurApproach})
+			s.MigrateAt(name, dst, warmup+float64(p%50)+float64(v))
+		}
+	}
+	if _, err := s.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: 10k campaign smoke: %v\n", err)
+		os.Exit(1)
+	}
 }

@@ -59,6 +59,8 @@ func main() {
 	degradeFactor := flag.Float64("degrade-factor", 0.25, "degraded NIC bandwidth as a fraction of nominal")
 	bgRate := flag.Float64("bg-rate", 0, "background cross-traffic pacing in MB/s into the destination (0 = off)")
 	bgStop := flag.Float64("bg-stop", 60, "background traffic stop time in seconds")
+	preseed := flag.Bool("preseed", false, "model pre-staged images: the base image is already on every node's local storage")
+	parallel := flag.Int("parallel", 0, "component-parallel kernel workers (0 = serial kernel, -1 = GOMAXPROCS); decomposition needs -preseed")
 	flag.Parse()
 	df := degradedFlags{
 		crashAt: *crashAt, retries: *retries, retryBackoff: *retryBackoff,
@@ -86,6 +88,12 @@ func main() {
 	var common []hybridmig.Option
 	if *threshold >= 0 {
 		common = append(common, hybridmig.WithThreshold(uint32(*threshold)))
+	}
+	if *preseed {
+		common = append(common, hybridmig.WithPreseededImages())
+	}
+	if *parallel != 0 {
+		common = append(common, hybridmig.WithParallel(*parallel))
 	}
 	scale := hybridmig.ScaleSmall
 	if *scaleName == "paper" {

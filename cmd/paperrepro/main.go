@@ -34,7 +34,9 @@ func main() {
 	exp := flag.String("experiment", "all", "which artifact to regenerate: table1, fig3, fig4, fig5, campaign, strategies, all")
 	scaleName := flag.String("scale", "small", "run size: small or paper")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
+	parallel := flag.Int("parallel", 0, "experiment cells to run concurrently (0 = serial, -1 = GOMAXPROCS); output is identical either way")
 	flag.Parse()
+	experiments.SetParallel(*parallel)
 
 	var scale experiments.Scale
 	switch *scaleName {

@@ -93,6 +93,11 @@ type Options struct {
 	// BasePrefetch enables hint-driven prefetch of hot base-image content
 	// from the repository after control transfer.
 	BasePrefetch bool
+	// Preseeded starts every side with the full base image already on its
+	// local disk (pre-staged image replicas): the source never fetches
+	// from the repository, and a migration's destination only owes the
+	// source the modified chunks. See params.Manager.Preseeded.
+	Preseeded bool
 	// BasePrefetchRate caps that prefetch in bytes/s (0 = uncapped).
 	BasePrefetchRate float64
 	// Dedup skips the body of pushed/pulled chunks whose content the
@@ -272,7 +277,7 @@ func NewImage(eng *sim.Engine, cl *fabric.Cluster, node *fabric.Node, geo chunk.
 	if geo.ChunkSize%base.Store.P.StripeSize != 0 && base.Store.P.StripeSize%geo.ChunkSize != 0 {
 		panic("core: chunk size and repository stripe size must nest")
 	}
-	return &Image{
+	im := &Image{
 		eng:     eng,
 		cl:      cl,
 		geo:     geo,
@@ -282,6 +287,13 @@ func NewImage(eng *sim.Engine, cl *fabric.Cluster, node *fabric.Node, geo chunk.
 		name:    name,
 		cur:     newSide(node, geo.Chunks()),
 	}
+	if opts.Preseeded {
+		// The node holds a pre-staged base replica: every chunk is local
+		// with base content (content ID 0), exactly the state fetchBase
+		// would have left behind.
+		im.cur.local.AddRange(0, chunk.Idx(geo.Chunks()-1))
+	}
+	return im
 }
 
 // store charges a write of the given range to the backing layer (or plain
@@ -409,9 +421,20 @@ const (
 	catBase
 )
 
+// staleBaseOwed reports that the active side's local copy of c is only the
+// preseeded base replica (content ID 0) while the source still owes the
+// chunk's modified content: the replica must not mask the pull. Outside
+// preseeded runs a destination never holds a content-0 local copy of a
+// remaining/in-flight chunk (base fetches and prefetch are restricted to
+// chunks the source did not modify), so this is always false there.
+func (im *Image) staleBaseOwed(c chunk.Idx) bool {
+	return im.isDest() && im.cur.content[c] == 0 &&
+		(im.remaining.Contains(c) || im.inFlight.Contains(c))
+}
+
 func (im *Image) category(c chunk.Idx) cat {
 	switch {
-	case im.cur.local.Contains(c):
+	case im.cur.local.Contains(c) && !im.staleBaseOwed(c):
 		return catLocal
 	case im.isDest() && (im.remaining.Contains(c) || im.inFlight.Contains(c)):
 		return catRemaining
@@ -450,7 +473,7 @@ func (im *Image) Write(p *sim.Proc, off, length int64) {
 	// Read-modify-write: partially covered chunks need their current
 	// content available locally first.
 	for c := first; c <= last; c++ {
-		if im.geo.FullyCovers(wr, c) || im.cur.local.Contains(c) {
+		if im.geo.FullyCovers(wr, c) || (im.cur.local.Contains(c) && !im.staleBaseOwed(c)) {
 			continue
 		}
 		im.stats.RMWStalls++

@@ -35,6 +35,13 @@ func (im *Image) MigrationRequest(dstNode *fabric.Node) {
 	im.migEpoch++
 	im.dstNode = dstNode
 	im.dst = newSide(dstNode, n)
+	if im.opts.Preseeded {
+		// The destination holds a pre-staged base replica; it only owes
+		// the source the modified chunks (and base prefetch finds nothing
+		// to do). category() keeps remaining/in-flight chunks authoritative
+		// over the stale base replica.
+		im.dst.local.AddRange(0, chunk.Idx(n-1))
+	}
 	im.remaining = im.cur.modified.Clone()
 	im.writeCount = chunk.NewCounter(n)
 	im.state = stPushing

@@ -53,33 +53,51 @@ func CampaignPolicies(s Scale, n int) []sched.Policy {
 }
 
 // RunCampaign runs the full campaign experiment: every approach under every
-// policy, a fleet of IOR VMs migrating together after the warm-up.
+// policy, a fleet of IOR VMs migrating together after the warm-up. The
+// approach x policy cells are independent runs and fan out over the
+// SetParallel budget, rows landing by cell index.
 func RunCampaign(s Scale) []CampaignRow {
-	var rows []CampaignRow
-	for _, a := range cluster.Approaches() {
-		rows = append(rows, RunCampaignApproach(s, a)...)
+	type cell struct {
+		a   cluster.Approach
+		pol sched.Policy
 	}
+	n := CampaignVMs(s)
+	var cells []cell
+	for _, a := range cluster.Approaches() {
+		for _, pol := range CampaignPolicies(s, n) {
+			cells = append(cells, cell{a, pol})
+		}
+	}
+	rows := make([]CampaignRow, len(cells))
+	forEach(len(cells), func(i int) {
+		rows[i] = campaignRow(cells[i].a, RunCampaignOne(s, cells[i].a, cells[i].pol))
+	})
 	return rows
 }
 
 // RunCampaignApproach runs the four policies for one approach.
 func RunCampaignApproach(s Scale, a cluster.Approach) []CampaignRow {
 	n := CampaignVMs(s)
-	rows := make([]CampaignRow, 0, 4)
-	for _, pol := range CampaignPolicies(s, n) {
-		c := RunCampaignOne(s, a, pol)
-		rows = append(rows, CampaignRow{
-			Approach:         a,
-			Policy:           c.Policy,
-			VMs:              c.Jobs,
-			Makespan:         c.Makespan(),
-			AvgMigrationTime: c.AvgMigrationTime(),
-			TotalDowntimeMS:  c.TotalDowntime * 1000,
-			TrafficGB:        metrics.GB(c.TransferredBytes),
-			PeakConcurrent:   c.PeakConcurrent,
-		})
-	}
+	pols := CampaignPolicies(s, n)
+	rows := make([]CampaignRow, len(pols))
+	forEach(len(pols), func(i int) {
+		rows[i] = campaignRow(a, RunCampaignOne(s, a, pols[i]))
+	})
 	return rows
+}
+
+// campaignRow summarizes one finished campaign as a report row.
+func campaignRow(a cluster.Approach, c *metrics.Campaign) CampaignRow {
+	return CampaignRow{
+		Approach:         a,
+		Policy:           c.Policy,
+		VMs:              c.Jobs,
+		Makespan:         c.Makespan(),
+		AvgMigrationTime: c.AvgMigrationTime(),
+		TotalDowntimeMS:  c.TotalDowntime * 1000,
+		TrafficGB:        metrics.GB(c.TransferredBytes),
+		PeakConcurrent:   c.PeakConcurrent,
+	}
 }
 
 // RunCampaignOne executes one campaign: CampaignVMs IOR VMs on distinct

@@ -26,13 +26,23 @@ var Fig3Benches = []string{"IOR", "AsyncWR"}
 
 // RunFig3 reproduces Figure 3: a single VM (4 GB RAM, 4 GB image) runs the
 // benchmark, and a live migration is initiated after the warm-up delay.
+// Cells are independent runs and fan out over the SetParallel budget; rows
+// land by cell index, so the row order never depends on scheduling.
 func RunFig3(s Scale) []Fig3Row {
-	var rows []Fig3Row
+	type cell struct {
+		bench string
+		a     cluster.Approach
+	}
+	var cells []cell
 	for _, bench := range Fig3Benches {
 		for _, a := range cluster.Approaches() {
-			rows = append(rows, RunFig3One(s, a, bench))
+			cells = append(cells, cell{bench, a})
 		}
 	}
+	rows := make([]Fig3Row, len(cells))
+	forEach(len(cells), func(i int) {
+		rows[i] = runFig3One(s, cells[i].a, cells[i].bench)
+	})
 	return rows
 }
 

@@ -31,18 +31,37 @@ func Fig5Migrations(s Scale) []int {
 // stencil; migrations of sources 0..M-1 start Gap seconds apart. Runtime
 // increase compares against a migration-free run of the same approach.
 func RunFig5(s Scale) []Fig5Row {
-	var rows []Fig5Row
-	for _, a := range cluster.Approaches() {
-		base := runFig5One(s, a, 0)
+	// Phase 1 — the migration-free base run per approach (the Fig. 5(c)
+	// reference); phase 2 — the approach x migrations grid. Both fan out
+	// over the SetParallel budget with rows landing by cell index.
+	approaches := cluster.Approaches()
+	bases := make([]fig5Result, len(approaches))
+	forEach(len(approaches), func(i int) {
+		bases[i] = runFig5One(s, approaches[i], 0)
+	})
+	baseBy := make(map[cluster.Approach]float64, len(approaches))
+	for i, a := range approaches {
+		baseBy[a] = bases[i].runtime
+	}
+	type cell struct {
+		a cluster.Approach
+		m int
+	}
+	var cells []cell
+	for _, a := range approaches {
 		for _, m := range Fig5Migrations(s) {
-			r := runFig5One(s, a, m)
-			r.RuntimeIncrease = r.runtime - base.runtime
-			if r.RuntimeIncrease < 0 {
-				r.RuntimeIncrease = 0
-			}
-			rows = append(rows, r.Fig5Row)
+			cells = append(cells, cell{a, m})
 		}
 	}
+	rows := make([]Fig5Row, len(cells))
+	forEach(len(cells), func(i int) {
+		r := runFig5One(s, cells[i].a, cells[i].m)
+		r.RuntimeIncrease = r.runtime - baseBy[cells[i].a]
+		if r.RuntimeIncrease < 0 {
+			r.RuntimeIncrease = 0
+		}
+		rows[i] = r.Fig5Row
+	})
 	return rows
 }
 

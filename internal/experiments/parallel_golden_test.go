@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestParallelDriverGoldenSmall runs the full small-scale golden report with
+// the cell-parallel driver and requires it BYTE-IDENTICAL to the serial
+// capture: every cell is an isolated engine, so concurrency must not move a
+// single bit, not merely stay within tolerance.
+func TestParallelDriverGoldenSmall(t *testing.T) {
+	SetParallel(runtime.GOMAXPROCS(0) + 2) // oversubscribe: exercise cell queuing
+	defer SetParallel(0)
+	got := GoldenReport(ScaleSmall)
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_small.txt"))
+	if err != nil {
+		t.Fatalf("golden file missing: %v", err)
+	}
+	if got != string(want) {
+		msg := compareGolden(string(want), got)
+		if msg == "" {
+			msg = "(differences below field tolerance, but the parallel driver must be bit-identical)"
+		}
+		t.Fatalf("parallel driver diverged from serial golden:\n%s", msg)
+	}
+}
+
+// TestParallelDriverGoldenPaper is the same byte-identity contract at paper
+// scale, gated like the serial paper golden.
+func TestParallelDriverGoldenPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale golden skipped in -short mode")
+	}
+	if os.Getenv("HYBRIDMIG_GOLDEN_PAPER") == "" {
+		t.Skip("set HYBRIDMIG_GOLDEN_PAPER=1 to run the paper-scale parallel golden")
+	}
+	SetParallel(-1)
+	defer SetParallel(0)
+	got := GoldenReport(ScalePaper)
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_paper.txt"))
+	if err != nil {
+		t.Fatalf("golden file missing: %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("parallel driver diverged from serial paper golden:\n%s",
+			compareGolden(string(want), got))
+	}
+}

@@ -31,6 +31,7 @@
 package flow
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 	"slices"
@@ -195,8 +196,17 @@ type Flow struct {
 	net       *Net
 	index     int // position in net.flows
 
-	// incremental-allocation state
+	// incremental-allocation state. Byte integration is anchored at the
+	// flow's last rate change: remaining at time t is always computed as
+	// anchorRem - rate*(t - anchorT), never by accumulating rate*dt slices.
+	// Settles triggered between rate changes (queries, or another
+	// component's completion sweep peeking at the heap top) are therefore
+	// pure reads — they cannot perturb the value the flow will have at its
+	// next rate change, which keeps a component's trajectory bit-identical
+	// no matter what unrelated flows share the Net.
 	lastSettle sim.Time // when remaining/bytes were last integrated
+	anchorT    sim.Time // time of the last rate change
+	anchorRem  float64  // remaining bytes at the last rate change
 	compT      sim.Time // projected completion time; +Inf while stalled
 	heapIdx    int      // position in net.compHeap, -1 while inactive
 	seq        uint64   // activation order, tie-break in the completion heap
@@ -321,6 +331,8 @@ func (n *Net) Start(f *Flow) {
 	}
 	f.active = true
 	f.lastSettle = n.eng.Now()
+	f.anchorT = f.lastSettle
+	f.anchorRem = f.remaining
 	n.lastEvent = f.lastSettle
 	f.compT = math.Inf(1)
 	f.seq = n.startSeq
@@ -461,18 +473,26 @@ func (n *Net) settle(f *Flow, now sim.Time) {
 
 // settleRate is settle with an explicit rate: during a component recompute
 // the flow's new rate is already in place, so elapsed time since the last
-// settle is charged at the rate that was in effect before the change.
+// settle is charged at the rate that was in effect before the change. The
+// remaining count is recomputed from the rate-change anchor, so the result
+// at any instant is independent of how many intermediate settles happened.
 func (n *Net) settleRate(f *Flow, now sim.Time, rate float64) {
-	dt := now - f.lastSettle
-	f.lastSettle = now
-	if dt <= 0 || rate <= 0 {
+	if now <= f.lastSettle {
 		return
 	}
-	d := rate * dt
-	if d > f.remaining {
-		d = f.remaining
+	f.lastSettle = now
+	if rate <= 0 {
+		return
 	}
-	f.remaining -= d
+	rem := f.anchorRem - rate*(now-f.anchorT)
+	if rem < 0 {
+		rem = 0
+	}
+	d := f.remaining - rem
+	if d <= 0 {
+		return
+	}
+	f.remaining = rem
 	n.byTag[f.Tag] += d
 	for _, l := range f.Links {
 		l.bytes += d
@@ -697,6 +717,8 @@ func (n *Net) recomputeComponent() {
 			continue
 		}
 		n.settleRate(f, now, f.prevRate)
+		f.anchorT = now
+		f.anchorRem = f.remaining
 		if f.rate > 0 {
 			f.compT = now + f.remaining/f.rate
 		} else {
@@ -764,8 +786,13 @@ func (n *Net) completionSweep() {
 		break
 	}
 	if len(n.done) > 0 {
-		// Finish in activation-table order, as the former global sweep did.
-		slices.SortFunc(n.done, func(a, b *Flow) int { return a.index - b.index })
+		// Finish in activation (seq) order. The flow table's index order is
+		// perturbed by swap-removal of unrelated flows, so it is not stable
+		// across Nets holding different flow populations; activation order
+		// is, which keeps a component's completion callbacks in the same
+		// relative order whether it shares the Net with other components
+		// (serial kernel) or owns it alone (sharded kernel).
+		slices.SortFunc(n.done, func(a, b *Flow) int { return cmp.Compare(a.seq, b.seq) })
 		for _, f := range n.done {
 			n.settle(f, now)
 		}

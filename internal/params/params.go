@@ -160,6 +160,14 @@ type Manager struct {
 	// BasePrefetchRate caps base-image prefetch bandwidth so it does not
 	// starve the source pulls (bytes/s).
 	BasePrefetchRate float64
+	// Preseeded marks the base image as already replicated on every
+	// compute node's local storage: images start fully local and
+	// migrations preseed the destination replica too, so neither boot
+	// I/O nor migration ever touches the shared repository. This models
+	// a deployment with pre-staged images; it is also what makes
+	// migrations of distinct node pairs fully independent of each other
+	// (the parallel scenario kernel shards on it).
+	Preseeded bool
 }
 
 // DefaultManager returns the default migration-manager tuning.

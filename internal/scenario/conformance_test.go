@@ -68,11 +68,11 @@ const conformanceWarmup = 3.0
 func runConformance(t *testing.T, name string, faults []FaultSpec) *Result {
 	t.Helper()
 	build := func() *Scenario {
-		opts := []Option{
+		opts := envParallel([]Option{
 			WithNodes(4),
 			WithSeedCapture(),
 			WithRetry(RetrySpec{MaxAttempts: 3, Backoff: 0.5}),
-		}
+		})
 		if len(faults) > 0 {
 			opts = append(opts, WithFaults(faults...))
 		}

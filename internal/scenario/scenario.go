@@ -206,6 +206,9 @@ type options struct {
 	traffic     []TrafficSpec
 	retry       RetrySpec
 	threshold   *uint32
+	preseed     bool
+	parallel    bool
+	workers     int
 }
 
 // Option configures a Scenario.
@@ -283,6 +286,39 @@ func WithRetry(r RetrySpec) Option { return func(o *options) { o.retry = r } }
 // the pull phase). Strategies that retune the cutoff online start from the
 // override; it has no effect on strategies without a push phase.
 func WithThreshold(t uint32) Option { return func(o *options) { o.threshold = &t } }
+
+// WithPreseededImages marks the base image as already replicated on every
+// compute node's local storage (a deployment with pre-staged images): VMs
+// boot from their local replica, migrations preseed the destination replica
+// too, and neither ever touches the shared repository. Besides modeling
+// pre-staged deployments, preseeding is what makes migrations between
+// disjoint node pairs fully independent — the condition the parallel
+// scenario kernel (WithParallel) shards on.
+func WithPreseededImages() Option { return func(o *options) { o.preseed = true } }
+
+// WithParallel runs the scenario on the component-parallel simulation
+// kernel: the planner partitions the declared VMs, migrations, traffic and
+// faults into connected components of the fabric, each component simulates
+// on its own event heap and clock (internal/sim.ShardSet), and the per-shard
+// results are merged deterministically. workers bounds the shards executing
+// concurrently; values <= 0 use GOMAXPROCS.
+//
+// Parallel execution is conservative: a scenario the planner cannot prove
+// decomposable (campaigns or CM1 — their orchestration observes global
+// state; shared-storage strategies; images not preseeded; a switch fabric
+// that could saturate) falls back to the serial kernel, so WithParallel
+// never changes which scenarios are runnable. Merged results agree with the
+// serial kernel field by field (the differential equivalence suite pins
+// this at 1e-6 relative tolerance; in practice per-VM measurements are
+// bit-identical and only summed traffic counters differ by float
+// association). Without WithParallel runs are serial and bit-for-bit
+// reproducible, which is what the golden suite pins.
+func WithParallel(workers int) Option {
+	return func(o *options) {
+		o.parallel = true
+		o.workers = workers
+	}
+}
 
 // Scenario is a declarative description of one simulated session. Build it
 // with New, AddVM, MigrateAt and Campaign, then call Run.
@@ -524,6 +560,14 @@ func (s *Scenario) resolve() (cluster.Config, Setup, map[string]int, error) {
 			cfg.ManagerOverride = &o
 		}
 	}
+	if s.opt.preseed {
+		cfg.Manager.Preseeded = true
+		if cfg.ManagerOverride != nil {
+			o := *cfg.ManagerOverride
+			o.Preseeded = true
+			cfg.ManagerOverride = &o
+		}
+	}
 	if top := s.maxNodeIndex(); top >= cfg.Nodes {
 		return zero, Setup{}, nil, invalidf("node index %d out of range (testbed has %d nodes)", top, cfg.Nodes)
 	}
@@ -538,6 +582,17 @@ type runner struct {
 	rw   *workload.Rewriter
 }
 
+// session is one assembled, not-yet-drained simulation of a scenario: the
+// testbed plus every handle result collection needs. The serial and sharded
+// run paths share it — a sharded run is just one session per component.
+type session struct {
+	tb        *cluster.Testbed
+	insts     []*cluster.Instance
+	runners   []runner
+	cm1       *workload.CM1
+	campaigns []*metrics.Campaign
+}
+
 // Run assembles the testbed, executes the scenario until the simulation
 // drains, and collects the Result. On a horizon overrun it returns the
 // partial Result together with a *sim.DeadlineError; on a validation failure
@@ -547,6 +602,30 @@ func (s *Scenario) Run() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.opt.parallel {
+		if plan := s.planPartition(cfg); plan != nil {
+			return s.runSharded(cfg, plan)
+		}
+	}
+	ss := s.build(cfg, set, byName)
+	runErr := ss.tb.Eng.Drain(s.opt.horizon)
+	ss.tb.Eng.Shutdown()
+	res := s.collect(ss.tb, ss.insts, ss.runners, ss.cm1, ss.campaigns)
+	if runErr != nil {
+		return res, runErr
+	}
+	for ci, c := range ss.campaigns {
+		if c == nil {
+			return res, fmt.Errorf("scenario: campaign %d (%s) did not complete", ci, s.campaigns[ci].Policy.Name())
+		}
+	}
+	return res, nil
+}
+
+// build assembles the testbed and spawns every declared process (VM stacks,
+// workloads, the migration plan, traffic, faults, the sampler) without
+// advancing simulated time.
+func (s *Scenario) build(cfg cluster.Config, set Setup, byName map[string]int) *session {
 	tb := cluster.New(cfg)
 	for _, o := range s.opt.observers {
 		tb.Observe(o)
@@ -625,19 +704,7 @@ func (s *Scenario) Run() (*Result, error) {
 	if len(s.opt.observers) > 0 && s.opt.sampleEvery > 0 && s.planSize() > 0 {
 		s.startSampler(tb, insts, byName)
 	}
-
-	runErr := eng.Drain(s.opt.horizon)
-	eng.Shutdown()
-	res := s.collect(tb, insts, runners, cm1, campaigns)
-	if runErr != nil {
-		return res, runErr
-	}
-	for ci, c := range campaigns {
-		if c == nil {
-			return res, fmt.Errorf("scenario: campaign %d (%s) did not complete", ci, s.campaigns[ci].Policy.Name())
-		}
-	}
-	return res, nil
+	return &session{tb: tb, insts: insts, runners: runners, cm1: cm1, campaigns: campaigns}
 }
 
 // migrateWithRetry runs one timed migration under the scenario's retry

@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the component-parallel execution layer: a ShardSet runs a set
+// of independent Engines — one per connected component of the simulated
+// system — concurrently, with conservative synchronization only at known
+// coupling timestamps.
+//
+// The model is conservative parallel DES in its simplest sound form. Each
+// shard owns a disjoint slice of simulation state (its own event heap, clock,
+// and processes), so between coupling points the shards cannot affect each
+// other and may free-run. A Coupling is a virtual-time instant at which some
+// globally coordinated change happens (a scripted fabric capacity step, for
+// example, replicated into every shard). Before such an instant, every shard
+// is advanced with Engine.RunBefore — which executes events strictly below
+// the coupling time — and only once ALL shards have aligned does any shard
+// process the coupling itself. No shard ever advances past a pending
+// coupling's timestamp; Drain enforces that invariant and fails loudly if it
+// is ever violated.
+//
+// Determinism: each shard's event order is exactly the serial engine's order
+// for that shard's events (same heap, same (t, seq) tie-break), regardless of
+// how the OS schedules the shard goroutines; results are collected by shard
+// index. The only cross-shard nondeterminism is wall-clock interleaving,
+// which no simulation state depends on.
+
+// Coupling is one synchronization point of a sharded run: an instant of
+// virtual time that every shard must reach (exclusively) before any shard
+// may proceed through it. The coupled action itself is expected to be
+// pre-scheduled on each affected shard's engine (an Engine.At timer at the
+// coupling time); Apply is an optional hook run at the barrier.
+type Coupling struct {
+	// At is the coupling's virtual-time instant.
+	At Time
+	// Apply, when non-nil, is called once per shard (in shard-index order,
+	// from the coordinating goroutine) after every shard has aligned
+	// strictly before At and before any shard advances to it.
+	Apply func(shard int)
+}
+
+// ShardSet drives a set of per-component engines through a horizon with
+// conservative synchronization at coupling timestamps.
+type ShardSet struct {
+	engines []*Engine
+	workers int
+}
+
+// NewShardSet returns a shard set over the given engines. workers bounds the
+// number of shards executing concurrently; values <= 0 use GOMAXPROCS.
+func NewShardSet(engines []*Engine, workers int) *ShardSet {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &ShardSet{engines: engines, workers: workers}
+}
+
+// Shards returns the number of shards.
+func (s *ShardSet) Shards() int { return len(s.engines) }
+
+// each runs fn(i) for every shard index, at most s.workers concurrently, and
+// returns when all have finished. Shard indices are claimed from a shared
+// counter, so completion order is nondeterministic but coverage is total.
+func (s *ShardSet) each(fn func(i int)) {
+	n := len(s.engines)
+	w := s.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Drain advances every shard to the horizon, synchronizing at each coupling:
+// all shards run strictly up to the coupling time, the barrier is joined,
+// Apply hooks run, and only then does any shard proceed. After the last
+// coupling the shards drain independently to the horizon. Couplings must be
+// sorted by ascending At.
+//
+// The error is the deterministic merge of the per-shard outcomes: ErrStopped
+// if any shard was stopped, else a single *DeadlineError summing the stuck
+// work across shards (Next is the earliest pending event anywhere), else nil.
+func (s *ShardSet) Drain(couplings []Coupling, horizon Time) error {
+	errs := make([]error, len(s.engines))
+	for _, c := range couplings {
+		if c.At > horizon {
+			break
+		}
+		at := c.At
+		s.each(func(i int) { errs[i] = s.engines[i].RunBefore(at) })
+		if err := firstError(errs); err != nil {
+			return err
+		}
+		// Barrier invariant: no shard's clock may have reached the pending
+		// coupling's timestamp. RunBefore makes this structurally true; the
+		// check makes a future regression loud instead of silently racy.
+		for i, e := range s.engines {
+			if e.Now() >= at {
+				return fmt.Errorf("sim: shard %d advanced to %v past pending coupling at %v", i, e.Now(), at)
+			}
+		}
+		if c.Apply != nil {
+			for i := range s.engines {
+				c.Apply(i)
+			}
+		}
+	}
+	s.each(func(i int) { errs[i] = s.engines[i].Drain(horizon) })
+	return s.mergeDrain(errs, horizon)
+}
+
+// firstError returns the first non-nil error by shard index.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeDrain folds per-shard Drain outcomes into one deterministic error:
+// any non-deadline error wins (lowest shard index), otherwise the deadline
+// errors are merged with the earliest Next and summed Pending/Live.
+func (s *ShardSet) mergeDrain(errs []error, horizon Time) error {
+	merged := &DeadlineError{Horizon: horizon, Next: math.Inf(1)}
+	hit := false
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		de, ok := err.(*DeadlineError)
+		if !ok {
+			return err
+		}
+		hit = true
+		if de.Next < merged.Next {
+			merged.Next = de.Next
+		}
+		merged.Pending += de.Pending
+		merged.Live += de.Live
+	}
+	if !hit {
+		return nil
+	}
+	return merged
+}
+
+// Shutdown releases every shard's remaining process goroutines (engines are
+// shut down in shard order; each engine's own kill order is its spawn order).
+func (s *ShardSet) Shutdown() {
+	for _, e := range s.engines {
+		e.Shutdown()
+	}
+}

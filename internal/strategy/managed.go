@@ -37,11 +37,13 @@ func init() {
 	Register(Definition{
 		Name:        "precopy",
 		Description: precopyDescription,
+		Traits:      Traits{SharedStorage: true}, // COW snapshot over the PFS base
 		Provision:   provisionPrecopy,
 	})
 	Register(Definition{
 		Name:        "pvfs-shared",
 		Description: sharedDescription,
+		Traits:      Traits{SharedStorage: true}, // image lives on the PFS
 		Provision:   provisionShared,
 	})
 }

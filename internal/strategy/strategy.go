@@ -84,6 +84,7 @@ func (e Env) ManagerOptions(mode core.Mode) core.Options {
 		PullRequestLatency: m.PullRequestLatency,
 		BasePrefetch:       m.BasePrefetch,
 		BasePrefetchRate:   m.BasePrefetchRate,
+		Preseeded:          m.Preseeded,
 		DedupHashBytes:     1024,
 	}
 }
@@ -138,12 +139,28 @@ type Instance interface {
 	Stats() core.Stats
 }
 
+// Traits are static coupling properties of a strategy that the parallel
+// scenario planner consults; they describe which shared substrates a
+// strategy's instances touch, never how they behave.
+type Traits struct {
+	// SharedStorage marks strategies whose images live on (or are backed
+	// by) the cluster-wide parallel file system at all times — precopy's
+	// COW-over-PFS base and pvfs-shared. Every such VM couples to every
+	// other through the PFS servers, so scenarios containing one cannot be
+	// partitioned. Manager-backed strategies (zero value) touch only the
+	// striped repository, and not even that when images are preseeded.
+	SharedStorage bool
+}
+
 // Definition is one registered strategy.
 type Definition struct {
 	// Name keys the registry and is the approach string scenarios use.
 	Name string
 	// Description is the Table 1 summary line.
 	Description string
+	// Traits are the strategy's static coupling properties (the zero value
+	// fits every manager-backed strategy).
+	Traits Traits
 	// Provision builds the per-VM instance at launch time. It runs before
 	// the guest I/O stack is assembled and must not advance simulated time.
 	Provision func(env Env, vmName string, node *fabric.Node) Instance

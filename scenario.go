@@ -156,3 +156,20 @@ func WithRetry(r RetrySpec) Option { return scenario.WithRetry(r) }
 // also seeds the adaptive strategy's starting point and has no effect on
 // strategies without a push phase.
 func WithThreshold(t uint32) Option { return scenario.WithThreshold(t) }
+
+// WithPreseededImages models a deployment with pre-staged images: the base
+// image is already replicated on every compute node's local storage, so
+// boots and migrations never touch the shared repository. Preseeding also
+// makes migrations between disjoint node pairs fully independent — the
+// condition WithParallel shards on.
+func WithPreseededImages() Option { return scenario.WithPreseededImages() }
+
+// WithParallel runs the scenario on the component-parallel simulation
+// kernel: independent fabric components simulate concurrently on their own
+// event heaps and the results merge deterministically, equivalent to the
+// serial kernel field by field. Scenarios the planner cannot prove
+// decomposable (campaigns, CM1, shared-storage strategies, non-preseeded
+// images, a saturable fabric) fall back to the serial kernel. workers <= 0
+// uses GOMAXPROCS. Without this option runs are serial and bit-for-bit
+// reproducible.
+func WithParallel(workers int) Option { return scenario.WithParallel(workers) }
