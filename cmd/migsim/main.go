@@ -14,6 +14,7 @@
 //	       [-vms n] [-policy all-at-once|serial|batched-k|cycle-aware] [-k n]
 //	       [-crash-at s] [-retries n] [-retry-backoff s]
 //	       [-degrade-at s] [-degrade-dur s] [-degrade-factor f]
+//	       [-partition node:start:dur]
 //	       [-bg-rate MB/s] [-bg-stop s]
 //	       [-trace] [-json]
 //
@@ -26,7 +27,9 @@
 //
 // Degraded-mode flags: -crash-at injects a destination crash into the first
 // VM's migration at the given time (give it a retry budget with -retries);
-// -degrade-* scales the destination node's NIC for a window; -bg-* runs
+// -degrade-* scales the destination node's NIC for a window; -partition cuts
+// a node off the network for a window — shared-volume leases it holds are
+// fenced once silent past TTL+grace, reported as fenced attempts; -bg-* runs
 // background cross traffic into the destination until -bg-stop.
 package main
 
@@ -57,6 +60,7 @@ func main() {
 	degradeAt := flag.Float64("degrade-at", 0, "degrade the destination node's NIC at this time (0 = off)")
 	degradeDur := flag.Float64("degrade-dur", 10, "degradation window in seconds")
 	degradeFactor := flag.Float64("degrade-factor", 0.25, "degraded NIC bandwidth as a fraction of nominal")
+	partition := flag.String("partition", "", "partition a node off the network: node:start:duration (e.g. 1:8.2:8)")
 	bgRate := flag.Float64("bg-rate", 0, "background cross-traffic pacing in MB/s into the destination (0 = off)")
 	bgStop := flag.Float64("bg-stop", 60, "background traffic stop time in seconds")
 	preseed := flag.Bool("preseed", false, "model pre-staged images: the base image is already on every node's local storage")
@@ -66,6 +70,14 @@ func main() {
 		crashAt: *crashAt, retries: *retries, retryBackoff: *retryBackoff,
 		degradeAt: *degradeAt, degradeDur: *degradeDur, degradeFactor: *degradeFactor,
 		bgRate: *bgRate, bgStop: *bgStop,
+	}
+	if *partition != "" {
+		n, err := fmt.Sscanf(*partition, "%d:%g:%g", &df.partNode, &df.partAt, &df.partDur)
+		if err != nil || n != 3 {
+			fmt.Fprintf(os.Stderr, "migsim: -partition wants node:start:duration, got %q\n", *partition)
+			os.Exit(2)
+		}
+		df.partSet = true
 	}
 
 	if *listStrategies {
@@ -127,6 +139,9 @@ type degradedFlags struct {
 	crashAt, retryBackoff                float64
 	retries                              int
 	degradeAt, degradeDur, degradeFactor float64
+	partNode                             int
+	partAt, partDur                      float64
+	partSet                              bool
 	bgRate, bgStop                       float64
 }
 
@@ -144,6 +159,11 @@ func (d degradedFlags) options(firstVM string, dstNode, totalNodes int) []hybrid
 		faults = append(faults, hybridmig.FaultSpec{
 			Kind: hybridmig.FaultLinkDegrade, Node: dstNode,
 			At: d.degradeAt, Duration: d.degradeDur, Factor: d.degradeFactor})
+	}
+	if d.partSet {
+		faults = append(faults, hybridmig.FaultSpec{
+			Kind: hybridmig.FaultPartition, Node: d.partNode,
+			At: d.partAt, Duration: d.partDur})
 	}
 	if len(faults) > 0 {
 		opts = append(opts, hybridmig.WithFaults(faults...),
@@ -254,6 +274,8 @@ type singleReport struct {
 	Retries       int                      `json:"retries,omitempty"`
 	AbortedBytes  float64                  `json:"aborted_bytes,omitempty"`
 	Exhausted     bool                     `json:"exhausted,omitempty"`
+	Fenced        int                      `json:"fenced,omitempty"`
+	SplitBrain    int                      `json:"split_brain_windows,omitempty"`
 	MemoryBytes   float64                  `json:"memory_bytes"`
 	BlockBytes    float64                  `json:"block_bytes,omitempty"`
 	Core          hybridmig.CoreStats      `json:"core_stats"`
@@ -290,6 +312,8 @@ func runSingle(scale hybridmig.Scale, approach hybridmig.Approach, workloadName 
 			Retries:       vm.Retries,
 			AbortedBytes:  vm.AbortedBytes,
 			Exhausted:     vm.Exhausted,
+			Fenced:        vm.Fenced,
+			SplitBrain:    res.SplitBrainWindows,
 			MemoryBytes:   vm.MemoryBytes,
 			BlockBytes:    vm.BlockBytes,
 			Core:          vm.Core,
@@ -310,6 +334,9 @@ func runSingle(scale hybridmig.Scale, approach hybridmig.Approach, workloadName 
 	if vm.Aborts > 0 || vm.Exhausted {
 		fmt.Printf("faults:          %d aborted attempts, %d retries, %.1f MB wasted (exhausted=%v)\n",
 			vm.Aborts, vm.Retries, vm.AbortedBytes/(1<<20), vm.Exhausted)
+	}
+	if vm.Fenced > 0 {
+		fmt.Printf("fenced:          %d attempts aborted by lease fencing\n", vm.Fenced)
 	}
 	fmt.Printf("memory moved:    %.1f MB in %d rounds (converged=%v)\n",
 		vm.MemoryBytes/(1<<20), vm.Rounds, vm.Converged)

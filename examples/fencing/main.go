@@ -1,0 +1,71 @@
+// Fencing: the multi-attach shared-storage tour. One VM on a shared RWX
+// volume migrates with the multiattach strategy — source and destination
+// hold the volume simultaneously during switchover, kept safe by lease-based
+// fencing. Mid-window the destination node is partitioned off the network:
+// its lease goes silent, expires past the TTL, and the reconciler fences it,
+// aborting the attempt with a first-class Fenced outcome. The retry budget
+// rides out the partition and the migration converges once the network
+// heals, with zero split-brain windows and zero write-authority violations.
+//
+// Run with: go run ./examples/fencing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hybridmig "github.com/hybridmig/hybridmig"
+)
+
+func main() {
+	set := hybridmig.SetupFor(hybridmig.ScaleSmall, 4)
+	ior := set.IOR
+
+	// A shared-storage switchover completes in well under a second, so the
+	// partition lands 0.2 s into the window and outlives TTL+grace (5 s at
+	// the defaults) to force a fencing decision.
+	partitionAt := set.Warmup + 0.2
+
+	s := hybridmig.NewScenario(
+		hybridmig.WithConfig(set.Cluster),
+		hybridmig.WithFaults(hybridmig.FaultSpec{
+			Kind: hybridmig.FaultPartition, Node: 1, At: partitionAt, Duration: 8,
+		}),
+		// Enough attempts to ride out the partition: the fenced attempt plus
+		// re-acquisitions that fail while the destination is still dark.
+		hybridmig.WithRetry(hybridmig.RetrySpec{MaxAttempts: 6, Backoff: 1}),
+		// Watch the lease protocol live.
+		hybridmig.WithObserver(hybridmig.ObserverFunc(func(e hybridmig.Event) {
+			switch e.Kind {
+			case hybridmig.KindLeaseAcquired, hybridmig.KindLeaseExpired,
+				hybridmig.KindLeaseFenced, hybridmig.KindSplitBrain,
+				hybridmig.KindFaultInjected, hybridmig.KindMigrationAborted,
+				hybridmig.KindMigrationRetried, hybridmig.KindMigrationCompleted:
+				fmt.Println("  ", e)
+			}
+		})),
+	).
+		AddVM(hybridmig.VMSpec{
+			Name:     "vm0",
+			Node:     0,
+			Approach: hybridmig.MultiAttach,
+			Workload: hybridmig.IOR(&ior),
+		}).
+		MigrateAt("vm0", 1, set.Warmup)
+
+	fmt.Println("lease timeline:")
+	res, err := s.Run()
+	if err != nil {
+		log.Fatalf("fencing: %v", err)
+	}
+
+	vm := res.VM("vm0")
+	fmt.Println()
+	fmt.Printf("migrated:        %v (node%d)\n", vm.Migrated, vm.Node)
+	fmt.Printf("fenced attempts: %d of %d aborts (the lease reconciler won)\n",
+		vm.Fenced, vm.Aborts)
+	fmt.Printf("retries:         %d before the partition healed\n", vm.Retries)
+	fmt.Printf("migration time:  %.2f s for the attempt that stuck\n", vm.MigrationTime)
+	fmt.Printf("split brain:     %d windows (fencing keeps it at zero)\n",
+		res.SplitBrainWindows)
+}

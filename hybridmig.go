@@ -46,6 +46,7 @@ package hybridmig
 import (
 	"github.com/hybridmig/hybridmig/internal/cluster"
 	"github.com/hybridmig/hybridmig/internal/core"
+	"github.com/hybridmig/hybridmig/internal/lease"
 	"github.com/hybridmig/hybridmig/internal/metrics"
 	"github.com/hybridmig/hybridmig/internal/params"
 	"github.com/hybridmig/hybridmig/internal/scenario"
@@ -68,6 +69,9 @@ const (
 	Precopy              = cluster.Precopy
 	PVFSShared           = cluster.PVFSShared
 	Adaptive    Approach = adaptive.Name
+	// MultiAttach dual-attaches the shared volume during switchover under
+	// lease-based fencing, modeling RWX multi-attach block migration.
+	MultiAttach = cluster.MultiAttach
 )
 
 // Approaches lists the paper's five compared approaches in Table 1 order.
@@ -129,6 +133,17 @@ type DeadlineError = sim.DeadlineError
 // ErrInvalidScenario is wrapped by every scenario validation failure;
 // detect it with errors.Is.
 var ErrInvalidScenario = scenario.ErrInvalidScenario
+
+// LeaseOptions are the shared-volume attachment-manager knobs (Config.Lease):
+// lease TTL, post-expiry grace period, reconciler interval, and the NoFencing
+// split-brain demonstrator switch. The zero value uses the defaults (3/2/1 s,
+// fencing on).
+type LeaseOptions = lease.Options
+
+// ErrCorruption is wrapped by Scenario.Run when the write-epoch detector
+// observed a shared-volume write outside a valid lease (split brain); detect
+// it with errors.Is. It can only occur with LeaseOptions.NoFencing set.
+var ErrCorruption = lease.ErrCorruption
 
 // Campaign orchestration: batches of simultaneous migrations executed under
 // an admission policy (see internal/sched and DESIGN.md §9).

@@ -18,6 +18,7 @@ import (
 	"github.com/hybridmig/hybridmig/internal/fabric"
 	"github.com/hybridmig/hybridmig/internal/guest"
 	"github.com/hybridmig/hybridmig/internal/hv"
+	"github.com/hybridmig/hybridmig/internal/lease"
 	"github.com/hybridmig/hybridmig/internal/metrics"
 	"github.com/hybridmig/hybridmig/internal/params"
 	"github.com/hybridmig/hybridmig/internal/pfs"
@@ -41,6 +42,10 @@ const (
 	Precopy     Approach = "precopy"
 	PVFSShared  Approach = "pvfs-shared"
 )
+
+// MultiAttach is the shared-volume strategy that dual-attaches the volume
+// during switchover under lease fencing (not part of the paper's Table 1).
+const MultiAttach Approach = "multiattach"
 
 // Approaches lists the paper's five compared approaches in the Table 1
 // presentation order. The full registered set — which may be larger — is
@@ -71,6 +76,10 @@ type Config struct {
 	// BootRead is how much base-image content each instance reads at launch
 	// (OS boot + warm-up), which seeds the hot-base-content hints.
 	BootRead int64
+	// Lease configures the shared-volume attachment manager (TTL, grace
+	// period, reconcile interval, and the NoFencing demonstrator switch);
+	// the zero value selects the defaults.
+	Lease lease.Options
 	// ManagerOverride, when non-nil, replaces the manager options derived
 	// from Manager (used by ablations).
 	ManagerOverride *core.Options
@@ -117,6 +126,7 @@ type Testbed struct {
 	geo       chunk.Geometry
 	instances []*Instance
 	bus       *trace.Bus
+	leases    *lease.Manager
 }
 
 // Observe subscribes an observer to the testbed's trace bus: migration
@@ -161,8 +171,16 @@ func New(cfg Config) *Testbed {
 		pids[i] = pfs.ContentID(1_000_000 + i)
 	}
 	tb.basePFS.PutContent(pids)
+	// The attachment manager's reachability probe is the fabric's partition
+	// state: a node inside a partition window cannot renew its leases.
+	tb.leases = lease.NewManager(eng, tb.bus, cfg.Lease, func(node int) bool {
+		return !cl.PartitionedNow(node)
+	})
 	return tb
 }
+
+// Leases returns the testbed's shared-volume attachment manager.
+func (tb *Testbed) Leases() *lease.Manager { return tb.leases }
 
 // Geometry returns the image chunking.
 func (tb *Testbed) Geometry() chunk.Geometry { return tb.geo }
@@ -188,6 +206,7 @@ type Instance struct {
 	// Fault/retry accounting, cumulative across attempts.
 	Attempts     int     // migration attempts, aborted ones included
 	Aborts       int     // attempts torn down by injected faults
+	Fenced       int     // aborts that were fencing decisions (subset of Aborts)
 	AbortedBytes float64 // wire bytes wasted by aborted attempts
 	Exhausted    bool    // a retry budget ran out without completing
 
@@ -208,6 +227,7 @@ func (tb *Testbed) strategyEnv() strategy.Env {
 		HV:              tb.Cfg.HV,
 		Manager:         tb.Cfg.Manager,
 		ManagerOverride: tb.Cfg.ManagerOverride,
+		Leases:          tb.leases,
 	}
 }
 
@@ -262,6 +282,12 @@ func (tb *Testbed) Instances() []*Instance { return tb.instances }
 // retried with a fresh MigrateInstance call.
 var ErrMigrationAborted = errors.New("cluster: migration aborted by injected fault")
 
+// ErrMigrationFenced is returned when the attempt was aborted by a fencing
+// decision of the attachment manager (a lease revoked or refused during the
+// shared-volume switchover window). It wraps ErrMigrationAborted, so retry
+// machinery that matches on the general abort keeps working.
+var ErrMigrationFenced = fmt.Errorf("%w: fencing won", ErrMigrationAborted)
+
 // MigrateInstance live-migrates inst to the node at dstIdx, blocking until
 // the migration fully completes per the strategy's own definition of
 // migration time (Section 5.2): control transfer for precopy, mirror and
@@ -292,9 +318,17 @@ func (tb *Testbed) MigrateInstance(p *sim.Proc, inst *Instance, dstIdx int) erro
 		inst.Aborts++
 		wasted := out.HV.MemoryBytes + out.HV.BlockBytes + out.StorageWasted
 		inst.AbortedBytes += wasted
+		detail := string(inst.Approach)
+		if out.Fenced {
+			inst.Fenced++
+			detail = "fenced"
+		}
 		if tb.bus.Active() {
 			tb.bus.Emit(trace.Event{Time: tb.Eng.Now(), Kind: trace.KindMigrationAborted,
-				VM: inst.Name, Detail: string(inst.Approach), Value: wasted})
+				VM: inst.Name, Detail: detail, Value: wasted})
+		}
+		if out.Fenced {
+			return ErrMigrationFenced
 		}
 		return ErrMigrationAborted
 	}
@@ -373,11 +407,14 @@ func (tb *Testbed) MigrateAllRetry(p *sim.Proc, reqs []MigrationRequest, pol sch
 			LowIO:    func() bool { return tb.LowIO(r.Inst) },
 			Downtime: func() float64 { return r.Inst.HVResult.Downtime },
 			Wasted:   func() float64 { return r.Inst.AbortedBytes },
+			Fenced:   func() int { return r.Inst.Fenced },
 		}
 	}
 	o := sched.New(tb.Eng, tb.Cl.Net)
 	o.Trace = tb.bus
+	sb0 := tb.leases.SplitBrainWindows()
 	c := o.RunRetry(p, jobs, pol, retry)
+	c.SplitBrainWindows = tb.leases.SplitBrainWindows() - sb0
 	for i, st := range c.JobStats {
 		if st.Exhausted {
 			reqs[i].Inst.Exhausted = true

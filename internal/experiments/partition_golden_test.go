@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/hybridmig/hybridmig/internal/scenario"
+)
+
+// partitionGoldenScenario is the pinned fencing run: one multiattach VM at
+// small scale whose destination node is partitioned off the network
+// mid-dual-attach window, long enough for the lease TTL+grace to elapse. The
+// reconciler fences the destination, the attempt aborts Fenced, re-acquisition
+// fails while the partition lasts, and the retry budget converges after heal.
+// Every float of its Result is captured in hex, so any change to the lease
+// protocol, the partition blackout, or the fenced accounting shows up as a
+// bit-level diff.
+func partitionGoldenScenario() *scenario.Scenario {
+	set := scenario.NewSetup(scenario.ScaleSmall, 4)
+	return scenario.New(
+		scenario.WithConfig(set.Cluster),
+		scenario.WithSeedCapture(),
+		scenario.WithRetry(scenario.RetrySpec{MaxAttempts: 6, Backoff: 1}),
+		scenario.WithFaults(scenario.FaultSpec{
+			Kind: scenario.FaultPartition, Node: 1, At: set.Warmup + 0.2, Duration: 8,
+		}),
+	).
+		AddVM(scenario.VMSpec{Name: "vm0", Node: 0,
+			Approach: "multiattach", Workload: scenario.IOR(&set.IOR)}).
+		MigrateAt("vm0", 1, set.Warmup)
+}
+
+// TestGoldenDeterminismPartition pins the fencing scenario's hex-float
+// capture bit for bit (regenerate with -update after intentional changes).
+func TestGoldenDeterminismPartition(t *testing.T) {
+	res, err := partitionGoldenScenario().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Assert the scenario actually exercised the fencing path before
+	// trusting it as a golden.
+	if res.TotalFenced() == 0 {
+		t.Fatal("partition golden scenario never fenced an attempt")
+	}
+	if !res.VM("vm0").Migrated {
+		t.Fatal("partition golden scenario did not converge after heal")
+	}
+	if res.SplitBrainWindows != 0 {
+		t.Fatalf("partition golden took %d split-brain windows with fencing enabled",
+			res.SplitBrainWindows)
+	}
+	if !strings.Contains(res.SeedCapture, "fenced=") {
+		t.Fatal("capture carries no fenced line; the golden would not pin the fencing outcome")
+	}
+
+	path := filepath.Join("testdata", "golden_partition.txt")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(res.SeedCapture), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(res.SeedCapture))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("partition golden missing (run with -update to capture): %v", err)
+	}
+	if string(want) != res.SeedCapture {
+		t.Fatalf("partition capture diverged from golden (bit-for-bit)\n--- want\n%s\n--- got\n%s",
+			want, res.SeedCapture)
+	}
+
+	// Re-run: the capture must be bit-identical within one build too.
+	res2, err := partitionGoldenScenario().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.SeedCapture != res.SeedCapture {
+		t.Fatal("partition scenario not deterministic across runs")
+	}
+}

@@ -113,6 +113,47 @@ func (c *Cluster) ApplySchedule(steps []CapacityStep, bus *trace.Bus) {
 	}
 }
 
+// partitionWindow records one node's scheduled isolation span.
+type partitionWindow struct {
+	node     int
+	from, to float64
+}
+
+// Partition isolates a node from the network for the window [at, at+duration):
+// both NIC directions black out (the same epsilon-floored blackout as a
+// factor-0 capacity step) and, for the span of the window, PartitionedNow
+// reports the node unreachable — which is what lease reconcilers consult to
+// decide renewals and fencing. The node's local disk keeps working: a
+// partitioned host can still issue I/O, which is exactly why unfenced
+// partitions are dangerous for shared volumes.
+func (c *Cluster) Partition(node int, at, duration float64, bus *trace.Bus) {
+	if node < 0 || node >= len(c.Nodes) {
+		panic(fmt.Sprintf("fabric: partition node %d out of range", node))
+	}
+	if !(duration > 0) || at < 0 {
+		panic(fmt.Sprintf("fabric: partition window [%g,%g) is not a positive span", at, at+duration))
+	}
+	c.partitions = append(c.partitions, partitionWindow{node: node, from: at, to: at + duration})
+	c.ApplySchedule([]CapacityStep{
+		{At: at, Role: LinkNICIn, Node: node, Factor: 0},
+		{At: at, Role: LinkNICOut, Node: node, Factor: 0},
+		{At: at + duration, Role: LinkNICIn, Node: node, Factor: 1},
+		{At: at + duration, Role: LinkNICOut, Node: node, Factor: 1},
+	}, bus)
+}
+
+// PartitionedNow reports whether the node is inside a scheduled partition
+// window at the current simulated instant.
+func (c *Cluster) PartitionedNow(node int) bool {
+	now := c.Eng.Now()
+	for _, w := range c.partitions {
+		if w.node == node && now >= w.from && now < w.to {
+			return true
+		}
+	}
+	return false
+}
+
 // CrossTraffic describes one persistent background traffic source: from
 // Start to Stop, back-to-back transfers of Burst bytes flow from Src to Dst
 // over the normal NIC/fabric path, optionally paced at Rate bytes/s. The

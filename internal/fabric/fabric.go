@@ -38,6 +38,8 @@ type Cluster struct {
 	Fabric *flow.Link
 	Nodes  []*Node
 	P      params.Testbed
+
+	partitions []partitionWindow // scheduled isolation spans (see Partition)
 }
 
 // NewCluster builds a datacenter of n nodes with the given testbed constants.

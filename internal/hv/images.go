@@ -212,6 +212,15 @@ func (im *COWImage) MoveTo(node *fabric.Node) {
 // FinishBlockMigration implements BlockMigrator.
 func (im *COWImage) FinishBlockMigration() { im.tracking = false }
 
+// WriteGuard authorizes writes to a shared volume. AuthorizeWrite is asked
+// before every snapshot write with the issuing node; returning false blocks
+// the write (a fenced holder's I/O). Implementations that detect an
+// unauthorized-but-unfenced writer record the violation themselves and
+// return true — the corruption happens and is detected, not hidden.
+type WriteGuard interface {
+	AuthorizeWrite(node int) bool
+}
+
 // SharedImage is the pvfs-shared baseline's disk: the base image and the
 // copy-on-write snapshot both live on the parallel file system, so source
 // and destination are always synchronized and migration moves memory only —
@@ -227,8 +236,15 @@ type SharedImage struct {
 	content []uint64
 	seq     uint64
 
+	// Guard, when non-nil, gates every write through the attachment
+	// manager's lease check (nil preserves the unguarded baseline exactly).
+	Guard WriteGuard
+
 	ReadBytes  float64
 	WriteBytes float64
+	// FencedWriteBytes counts write traffic blocked by the guard (a fenced
+	// holder's I/O never reaches the volume).
+	FencedWriteBytes float64
 }
 
 var _ vm.DiskImage = (*SharedImage)(nil)
@@ -292,11 +308,26 @@ func (im *SharedImage) Read(p *sim.Proc, off, length int64) {
 
 // Write implements vm.DiskImage: all writes go to the snapshot on the PFS.
 func (im *SharedImage) Write(p *sim.Proc, off, length int64) {
+	im.writeFrom(p, im.node, off, length)
+}
+
+// WriteFrom issues a write from an explicit node — the path a recovery
+// writer takes when a failover activates the volume on a node other than
+// the VM's current location (the split-brain demonstrator).
+func (im *SharedImage) WriteFrom(p *sim.Proc, node *fabric.Node, off, length int64) {
+	im.writeFrom(p, node, off, length)
+}
+
+func (im *SharedImage) writeFrom(p *sim.Proc, node *fabric.Node, off, length int64) {
 	if length <= 0 {
 		return
 	}
+	if im.Guard != nil && !im.Guard.AuthorizeWrite(node.ID) {
+		im.FencedWriteBytes += float64(length)
+		return
+	}
 	im.seq++
-	im.snap.Write(p, im.node, off, length, pfs.ContentID(im.seq))
+	im.snap.Write(p, node, off, length, pfs.ContentID(im.seq))
 	im.WriteBytes += float64(length)
 	first, last := im.geo.Span(chunk.Range{Off: off, Len: length})
 	for c := first; c <= last; c++ {

@@ -1,0 +1,395 @@
+package lease
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/hybridmig/hybridmig/internal/sim"
+)
+
+// run drains the engine and fails the test on a stuck simulation.
+func run(t *testing.T, eng *sim.Engine, horizon float64) {
+	t.Helper()
+	if err := eng.Drain(horizon); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
+func TestAcquireGrantsAuthorityToFirstHolder(t *testing.T) {
+	eng := sim.New()
+	m := NewManager(eng, nil, Options{}, nil)
+
+	a, err := m.Acquire("vol", 0)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if !a.Authority || a.Epoch != 1 {
+		t.Fatalf("first holder: authority=%t epoch=%d, want true/1", a.Authority, a.Epoch)
+	}
+	b, err := m.Acquire("vol", 1)
+	if err != nil {
+		t.Fatalf("second Acquire: %v", err)
+	}
+	if b.Authority {
+		t.Fatal("second attachment must not receive write authority")
+	}
+	if got := m.Attachments("vol"); got != 2 {
+		t.Fatalf("Attachments = %d, want 2 (dual-attach window)", got)
+	}
+	if got := m.Holders("vol"); got != 1 {
+		t.Fatalf("Holders = %d, want 1", got)
+	}
+}
+
+func TestAcquireRejectsDuplicatesAndThirdAttachment(t *testing.T) {
+	eng := sim.New()
+	m := NewManager(eng, nil, Options{}, nil)
+	if _, err := m.Acquire("vol", 0); err != nil {
+		t.Fatalf("Acquire node0: %v", err)
+	}
+	if _, err := m.Acquire("vol", 0); err == nil {
+		t.Fatal("duplicate Acquire by the same node must fail")
+	}
+	if _, err := m.Acquire("vol", 1); err != nil {
+		t.Fatalf("Acquire node1: %v", err)
+	}
+	if _, err := m.Acquire("vol", 2); err == nil {
+		t.Fatal("third attachment must fail: volume already dual-attached")
+	}
+}
+
+func TestAcquireFailsWhenUnreachable(t *testing.T) {
+	eng := sim.New()
+	dark := map[int]bool{1: true}
+	m := NewManager(eng, nil, Options{}, func(n int) bool { return !dark[n] })
+	if _, err := m.Acquire("vol", 1); err == nil {
+		t.Fatal("Acquire by an unreachable node must fail")
+	}
+	if _, err := m.Acquire("vol", 0); err != nil {
+		t.Fatalf("Acquire by a reachable node: %v", err)
+	}
+}
+
+func TestTransferAuthorityBumpsEpoch(t *testing.T) {
+	eng := sim.New()
+	m := NewManager(eng, nil, Options{}, nil)
+	src, _ := m.Acquire("vol", 0)
+	dst, _ := m.Acquire("vol", 1)
+
+	if !m.TransferAuthority(dst) {
+		t.Fatal("TransferAuthority to a live attachment must succeed")
+	}
+	if src.Authority || !dst.Authority {
+		t.Fatalf("authority: src=%t dst=%t, want false/true", src.Authority, dst.Authority)
+	}
+	if dst.Epoch != 2 {
+		t.Fatalf("epoch after transfer = %d, want 2", dst.Epoch)
+	}
+	if got := m.Holders("vol"); got != 1 {
+		t.Fatalf("Holders = %d, want 1", got)
+	}
+
+	m.Release(dst)
+	if m.TransferAuthority(dst) {
+		t.Fatal("TransferAuthority to a released attachment must fail")
+	}
+}
+
+func TestMoveAttachmentRehomesLease(t *testing.T) {
+	eng := sim.New()
+	m := NewManager(eng, nil, Options{}, nil)
+	a, _ := m.Acquire("vol", 0)
+	if !m.MoveAttachment(a, 3) {
+		t.Fatal("MoveAttachment must succeed on a live attachment")
+	}
+	if a.Node != 3 || !a.Authority || a.Epoch != 2 {
+		t.Fatalf("after move: node=%d authority=%t epoch=%d, want 3/true/2", a.Node, a.Authority, a.Epoch)
+	}
+}
+
+func TestReconcilerFencesSilentHolder(t *testing.T) {
+	eng := sim.New()
+	dark := map[int]bool{}
+	m := NewManager(eng, nil, Options{TTL: 3, Grace: 2, Interval: 1}, func(n int) bool { return !dark[n] })
+	src, _ := m.Acquire("vol", 0)
+	dst, _ := m.Acquire("vol", 1)
+
+	var fenced *Attachment
+	m.BeginWindow("vol", func(a *Attachment) { fenced = a }, nil)
+	// The destination goes dark at t=0.5 and never comes back.
+	eng.At(0.5, func() { dark[1] = true })
+	// The window stays open long enough for TTL+Grace to elapse.
+	eng.At(10, func() { m.EndWindow("vol") })
+	run(t, eng, 20)
+
+	if fenced != dst {
+		t.Fatalf("onFence got %+v, want the destination attachment", fenced)
+	}
+	if !dst.Fenced || dst.Authority {
+		t.Fatalf("dst: fenced=%t authority=%t, want true/false", dst.Fenced, dst.Authority)
+	}
+	if !src.Authority {
+		t.Fatal("source must keep write authority after the destination is fenced")
+	}
+	if m.Fences() != 1 {
+		t.Fatalf("Fences = %d, want 1", m.Fences())
+	}
+	if m.SplitBrainWindows() != 0 {
+		t.Fatalf("SplitBrainWindows = %d, want 0 with fencing enabled", m.SplitBrainWindows())
+	}
+}
+
+func TestReconcilerRenewsReachableHolder(t *testing.T) {
+	eng := sim.New()
+	dark := map[int]bool{}
+	m := NewManager(eng, nil, Options{TTL: 3, Grace: 2, Interval: 1}, func(n int) bool { return !dark[n] })
+	a, _ := m.Acquire("vol", 0)
+
+	m.BeginWindow("vol", nil, nil)
+	// A blip shorter than TTL: dark from 1 to 3, then reachable again.
+	eng.At(1.5, func() { dark[0] = true })
+	eng.At(3.5, func() { dark[0] = false })
+	eng.At(12, func() { m.EndWindow("vol") })
+	run(t, eng, 20)
+
+	if a.Fenced {
+		t.Fatal("a holder that recovers within TTL must not be fenced")
+	}
+	if m.Fences() != 0 {
+		t.Fatalf("Fences = %d, want 0", m.Fences())
+	}
+}
+
+func TestNoFencingFailoverActivatesSurvivor(t *testing.T) {
+	eng := sim.New()
+	dark := map[int]bool{}
+	m := NewManager(eng, nil, Options{TTL: 3, Grace: 2, Interval: 1, NoFencing: true},
+		func(n int) bool { return !dark[n] })
+	src, _ := m.Acquire("vol", 0)
+	dst, _ := m.Acquire("vol", 1)
+
+	var gotLoser, gotWinner *Attachment
+	m.BeginWindow("vol", nil, func(l, w *Attachment) { gotLoser, gotWinner = l, w })
+	// The authority holder (source) goes dark.
+	eng.At(0.5, func() { dark[0] = true })
+	eng.At(10, func() { m.EndWindow("vol") })
+	run(t, eng, 20)
+
+	if gotLoser != src || gotWinner != dst {
+		t.Fatalf("failover callback got (%p, %p), want (src, dst)", gotLoser, gotWinner)
+	}
+	if src.Authority || !dst.Authority {
+		t.Fatalf("authority after failover: src=%t dst=%t, want false/true", src.Authority, dst.Authority)
+	}
+	if src.Fenced {
+		t.Fatal("NoFencing must never fence — that is the point of the demonstrator")
+	}
+	if m.SplitBrainWindows() != 1 {
+		t.Fatalf("SplitBrainWindows = %d, want 1", m.SplitBrainWindows())
+	}
+}
+
+func TestAuthorizeWriteDetectorAndErr(t *testing.T) {
+	eng := sim.New()
+	dark := map[int]bool{}
+	m := NewManager(eng, nil, Options{TTL: 3, Grace: 2, Interval: 1}, func(n int) bool { return !dark[n] })
+	src, _ := m.Acquire("vol", 0)
+	dst, _ := m.Acquire("vol", 1)
+	_ = dst
+
+	if !m.AuthorizeWrite("vol", 0) {
+		t.Fatal("authority holder's write must be authorized")
+	}
+	if m.Violations() != 0 || m.Err() != nil {
+		t.Fatalf("no violation expected yet: %d, %v", m.Violations(), m.Err())
+	}
+
+	// A write from the non-authority attachment proceeds but is a violation.
+	if !m.AuthorizeWrite("vol", 1) {
+		t.Fatal("unauthorized write must proceed (the corruption happens) while being recorded")
+	}
+	if m.Violations() != 1 {
+		t.Fatalf("Violations = %d, want 1", m.Violations())
+	}
+	if err := m.Err(); !errors.Is(err, ErrCorruption) {
+		t.Fatalf("Err = %v, want ErrCorruption", err)
+	}
+
+	// Fence the source; its writes are blocked, not recorded as violations.
+	m.BeginWindow("vol", nil, nil)
+	eng.At(0.5, func() { dark[0] = true })
+	eng.At(10, func() { m.EndWindow("vol") })
+	run(t, eng, 20)
+	if !src.Fenced {
+		t.Fatal("source should be fenced by now")
+	}
+	before := m.Violations()
+	if m.AuthorizeWrite("vol", 0) {
+		t.Fatal("fenced holder's write must be blocked")
+	}
+	if m.Violations() != before {
+		t.Fatal("a blocked fenced write is not a violation")
+	}
+}
+
+func TestEndWindowCancelsTimer(t *testing.T) {
+	eng := sim.New()
+	m := NewManager(eng, nil, Options{}, nil)
+	if _, err := m.Acquire("vol", 0); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	m.BeginWindow("vol", nil, nil)
+	m.EndWindow("vol")
+	// With the window closed, the engine must drain immediately: no perpetual
+	// reconciler timer may survive.
+	run(t, eng, 1)
+	if eng.PendingEvents() != 0 {
+		t.Fatalf("PendingEvents = %d after EndWindow, want 0", eng.PendingEvents())
+	}
+}
+
+func TestFencedAttachmentSupersededByReacquire(t *testing.T) {
+	eng := sim.New()
+	dark := map[int]bool{}
+	m := NewManager(eng, nil, Options{TTL: 3, Grace: 2, Interval: 1}, func(n int) bool { return !dark[n] })
+	src, _ := m.Acquire("vol", 0)
+	dst, _ := m.Acquire("vol", 1)
+	m.BeginWindow("vol", nil, nil)
+	eng.At(0.5, func() { dark[1] = true })
+	eng.At(10, func() { m.EndWindow("vol") })
+	run(t, eng, 20)
+	if !dst.Fenced {
+		t.Fatal("destination should be fenced")
+	}
+
+	// After the partition heals, the node re-acquires: the fenced attachment
+	// is superseded by the fresh lease.
+	dark[1] = false
+	fresh, err := m.Acquire("vol", 1)
+	if err != nil {
+		t.Fatalf("re-Acquire after fence: %v", err)
+	}
+	if fresh.Fenced || fresh.Authority {
+		t.Fatalf("fresh lease: fenced=%t authority=%t, want false/false (src still holds)", fresh.Fenced, fresh.Authority)
+	}
+	if !src.Authority {
+		t.Fatal("source authority must survive the destination's fence/re-acquire cycle")
+	}
+	if got := m.Attachments("vol"); got != 2 {
+		t.Fatalf("Attachments = %d, want 2", got)
+	}
+}
+
+// TestRandomizedLeaseProtocolInvariants drives the manager through seeded
+// random sequences of protocol operations and partition flips, checking after
+// every event that the safety invariants hold:
+//
+//   - at most one attachment of a volume holds write authority,
+//   - at most two attachments are active per volume (the dual-attach window),
+//   - writes issued only by the current authority holder never count as
+//     violations (with fencing enabled).
+func TestRandomizedLeaseProtocolInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			eng := sim.New()
+			dark := map[int]bool{}
+			m := NewManager(eng, nil, Options{TTL: 3, Grace: 2, Interval: 1},
+				func(n int) bool { return !dark[n] })
+
+			const nodes = 4
+			vols := []string{"volA", "volB"}
+			atts := map[string]map[int]*Attachment{}
+			for _, v := range vols {
+				atts[v] = map[int]*Attachment{}
+			}
+
+			check := func(when string) {
+				for _, v := range vols {
+					if h := m.Holders(v); h > 1 {
+						t.Fatalf("%s: %s has %d authority holders, want <= 1", when, v, h)
+					}
+					if a := m.Attachments(v); a > 2 {
+						t.Fatalf("%s: %s has %d attachments, want <= 2", when, v, a)
+					}
+				}
+			}
+
+			// Random protocol events at jittered times over a 60 s run.
+			now := 0.0
+			for i := 0; i < 120; i++ {
+				now += 0.1 + rng.Float64()
+				vol := vols[rng.Intn(len(vols))]
+				node := rng.Intn(nodes)
+				switch op := rng.Intn(7); op {
+				case 0: // acquire
+					eng.At(now, func() {
+						if a, err := m.Acquire(vol, node); err == nil {
+							atts[vol][node] = a
+						}
+						check("acquire")
+					})
+				case 1: // release
+					eng.At(now, func() {
+						if a := atts[vol][node]; a != nil {
+							m.Release(a)
+							delete(atts[vol], node)
+						}
+						check("release")
+					})
+				case 2: // transfer authority
+					eng.At(now, func() {
+						if a := atts[vol][node]; a != nil {
+							m.TransferAuthority(a)
+						}
+						check("transfer")
+					})
+				case 3: // partition flip
+					eng.At(now, func() {
+						dark[node] = !dark[node]
+						check("flip")
+					})
+				case 4: // open window
+					eng.At(now, func() {
+						m.BeginWindow(vol, func(f *Attachment) {
+							if f.Authority {
+								t.Errorf("fenced attachment retained authority")
+							}
+						}, nil)
+						check("begin")
+					})
+				case 5: // close window
+					eng.At(now, func() {
+						m.EndWindow(vol)
+						check("end")
+					})
+				case 6: // authorized write: only the authority holder writes
+					eng.At(now, func() {
+						for n, a := range atts[vol] {
+							if a.Authority && !a.Fenced && !a.released {
+								m.AuthorizeWrite(vol, n)
+								break
+							}
+						}
+						check("write")
+					})
+				}
+			}
+			// Close every window at the end so the engine can drain.
+			eng.At(now+30, func() {
+				for _, v := range vols {
+					m.EndWindow(v)
+				}
+			})
+			run(t, eng, now+60)
+			check("drained")
+
+			if m.Violations() != 0 {
+				t.Fatalf("authorized-only writes produced %d violations: %v", m.Violations(), m.Err())
+			}
+		})
+	}
+}

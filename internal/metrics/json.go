@@ -20,6 +20,7 @@ func (j JobStat) MarshalJSON() ([]byte, error) {
 		Attempts    int     `json:"attempts,omitempty"`
 		Exhausted   bool    `json:"exhausted,omitempty"`
 		WastedBytes float64 `json:"wasted_bytes,omitempty"`
+		Fenced      int     `json:"fenced,omitempty"`
 	}{
 		Name:        j.Name,
 		QueuedS:     j.Queued,
@@ -31,6 +32,7 @@ func (j JobStat) MarshalJSON() ([]byte, error) {
 		Attempts:    j.Attempts,
 		Exhausted:   j.Exhausted,
 		WastedBytes: j.WastedBytes,
+		Fenced:      j.Fenced,
 	})
 }
 
@@ -45,36 +47,40 @@ func (t TagBytes) MarshalJSON() ([]byte, error) {
 // MarshalJSON renders the campaign with its derived aggregates.
 func (c *Campaign) MarshalJSON() ([]byte, error) {
 	return json.Marshal(struct {
-		Policy           string     `json:"policy"`
-		Jobs             int        `json:"jobs"`
-		StartS           float64    `json:"start_s"`
-		EndS             float64    `json:"end_s"`
-		MakespanS        float64    `json:"makespan_s"`
-		AvgMigrationS    float64    `json:"avg_migration_s"`
-		TotalDowntimeMS  float64    `json:"total_downtime_ms"`
-		PeakConcurrent   int        `json:"peak_concurrent"`
-		PeakFlows        int        `json:"peak_flows"`
-		TransferredBytes float64    `json:"transferred_bytes"`
-		Retries          int        `json:"retries,omitempty"`
-		ExhaustedJobs    int        `json:"exhausted_jobs,omitempty"`
-		WastedBytes      float64    `json:"wasted_bytes,omitempty"`
-		Traffic          []TagBytes `json:"traffic,omitempty"`
-		JobStats         []JobStat  `json:"job_stats"`
+		Policy            string     `json:"policy"`
+		Jobs              int        `json:"jobs"`
+		StartS            float64    `json:"start_s"`
+		EndS              float64    `json:"end_s"`
+		MakespanS         float64    `json:"makespan_s"`
+		AvgMigrationS     float64    `json:"avg_migration_s"`
+		TotalDowntimeMS   float64    `json:"total_downtime_ms"`
+		PeakConcurrent    int        `json:"peak_concurrent"`
+		PeakFlows         int        `json:"peak_flows"`
+		TransferredBytes  float64    `json:"transferred_bytes"`
+		Retries           int        `json:"retries,omitempty"`
+		ExhaustedJobs     int        `json:"exhausted_jobs,omitempty"`
+		WastedBytes       float64    `json:"wasted_bytes,omitempty"`
+		FencedMigrations  int        `json:"fenced_migrations,omitempty"`
+		SplitBrainWindows int        `json:"split_brain_windows,omitempty"`
+		Traffic           []TagBytes `json:"traffic,omitempty"`
+		JobStats          []JobStat  `json:"job_stats"`
 	}{
-		Policy:           c.Policy,
-		Jobs:             c.Jobs,
-		StartS:           c.Start,
-		EndS:             c.End,
-		MakespanS:        c.Makespan(),
-		AvgMigrationS:    c.AvgMigrationTime(),
-		TotalDowntimeMS:  c.TotalDowntime * 1000,
-		PeakConcurrent:   c.PeakConcurrent,
-		PeakFlows:        c.PeakFlows,
-		TransferredBytes: c.TransferredBytes,
-		Retries:          c.Retries,
-		ExhaustedJobs:    c.ExhaustedJobs,
-		WastedBytes:      c.WastedBytes,
-		Traffic:          c.Traffic,
-		JobStats:         c.JobStats,
+		Policy:            c.Policy,
+		Jobs:              c.Jobs,
+		StartS:            c.Start,
+		EndS:              c.End,
+		MakespanS:         c.Makespan(),
+		AvgMigrationS:     c.AvgMigrationTime(),
+		TotalDowntimeMS:   c.TotalDowntime * 1000,
+		PeakConcurrent:    c.PeakConcurrent,
+		PeakFlows:         c.PeakFlows,
+		TransferredBytes:  c.TransferredBytes,
+		Retries:           c.Retries,
+		ExhaustedJobs:     c.ExhaustedJobs,
+		WastedBytes:       c.WastedBytes,
+		FencedMigrations:  c.FencedMigrations,
+		SplitBrainWindows: c.SplitBrainWindows,
+		Traffic:           c.Traffic,
+		JobStats:          c.JobStats,
 	})
 }

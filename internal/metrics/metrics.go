@@ -101,10 +101,12 @@ type JobStat struct {
 	// Fault/retry outcome. Attempts counts runs of the job (1 when nothing
 	// went wrong); Exhausted marks a job whose retry budget ran out without
 	// a completed migration; WastedBytes is the wire traffic its aborted
-	// attempts threw away.
+	// attempts threw away; Fenced counts attempts aborted by fencing
+	// decisions of the shared-volume attachment manager.
 	Attempts    int
 	Exhausted   bool
 	WastedBytes float64
+	Fenced      int
 }
 
 // Wait returns how long the policy held the job back before it ran.
@@ -130,15 +132,17 @@ type Campaign struct {
 	Start  float64
 	End    float64
 
-	TotalDowntime    float64
-	PeakConcurrent   int     // most jobs running at once
-	PeakFlows        int     // most network/disk flows active at a job boundary
-	TransferredBytes float64 // all bytes moved while the campaign ran
-	Retries          int     // aborted attempts that were re-admitted
-	ExhaustedJobs    int     // jobs that ran out of retry budget
-	WastedBytes      float64 // wire bytes thrown away by aborted attempts
-	Traffic          []TagBytes
-	JobStats         []JobStat
+	TotalDowntime     float64
+	PeakConcurrent    int     // most jobs running at once
+	PeakFlows         int     // most network/disk flows active at a job boundary
+	TransferredBytes  float64 // all bytes moved while the campaign ran
+	Retries           int     // aborted attempts that were re-admitted
+	ExhaustedJobs     int     // jobs that ran out of retry budget
+	WastedBytes       float64 // wire bytes thrown away by aborted attempts
+	FencedMigrations  int     // attempts aborted because fencing won
+	SplitBrainWindows int     // unsafe failovers taken while the campaign ran (NoFencing only)
+	Traffic           []TagBytes
+	JobStats          []JobStat
 }
 
 // Makespan returns the wall-clock span of the campaign: first submission to

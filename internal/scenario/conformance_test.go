@@ -29,8 +29,8 @@ import (
 // this suite it does not belong in the registry.
 func TestStrategyConformance(t *testing.T) {
 	names := strategy.Names()
-	if len(names) < 6 {
-		t.Fatalf("registry lists %d strategies, want the five Table 1 approaches plus adaptive", len(names))
+	if len(names) < 7 {
+		t.Fatalf("registry lists %d strategies, want the five Table 1 approaches plus multiattach and adaptive", len(names))
 	}
 	for _, name := range names {
 		name := name
@@ -107,4 +107,67 @@ func runConformance(t *testing.T, name string, faults []FaultSpec) *Result {
 		t.Fatalf("%s: re-run diverged from the seed capture", name)
 	}
 	return res
+}
+
+// TestStrategyPartitionConformance runs every registered strategy through a
+// destination partition that opens mid-migration and outlives the lease
+// TTL+grace. The contract: the run stays terminal and deterministic for all
+// strategies (non-lease strategies stall through the blackout and finish
+// after heal; lease-managed ones abort and retry), byte conservation holds,
+// and the multiattach dual-attach window resolves the partition through a
+// fencing decision — never through a second writer.
+func TestStrategyPartitionConformance(t *testing.T) {
+	for _, name := range strategy.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			probe := runConformance(t, name, nil)
+			span := probe.VM("vm0").MigrationTime
+			if span <= 0 {
+				t.Fatalf("fault-free migration time = %v", span)
+			}
+			// The partition must outlive TTL+grace+one reconcile tick (6 s at
+			// the defaults) so silent holders are actually fenced, and the
+			// retry budget must reach past the heal.
+			fault := FaultSpec{Kind: FaultPartition, Node: 2,
+				At: conformanceWarmup + span/2, Duration: 8}
+			build := func() *Scenario {
+				return New(envParallel([]Option{
+					WithNodes(4),
+					WithSeedCapture(),
+					WithRetry(RetrySpec{MaxAttempts: 6, Backoff: 1}),
+					WithFaults(fault),
+				})...).
+					AddVM(VMSpec{Name: "vm0", Node: 0, Approach: cluster.Approach(name),
+						Workload: Rewrite(nil)}).
+					AddVM(VMSpec{Name: "vm1", Node: 1, Approach: cluster.Approach(name),
+						Workload: Rewrite(nil)}).
+					MigrateAt("vm0", 2, conformanceWarmup)
+			}
+			res, err := build().Run()
+			if err != nil {
+				t.Fatalf("%s under partition: %v", name, err)
+			}
+			checkScenarioInvariants(t, res, planInfo{
+				migrated: map[string]bool{"vm0": true},
+				maxTries: 6,
+			})
+			v := res.VM("vm0")
+			if !v.Migrated && !v.Exhausted {
+				t.Fatalf("%s: migration under partition is not terminal", name)
+			}
+			if res.SplitBrainWindows != 0 {
+				t.Fatalf("%s: %d split-brain windows with fencing enabled", name, res.SplitBrainWindows)
+			}
+			if name == string(cluster.MultiAttach) && v.Fenced == 0 {
+				t.Errorf("multiattach resolved a mid-window destination partition without a fencing decision")
+			}
+			rerun, err := build().Run()
+			if err != nil {
+				t.Fatalf("%s rerun: %v", name, err)
+			}
+			if rerun.SeedCapture != res.SeedCapture {
+				t.Fatalf("%s: partition re-run diverged from the seed capture", name)
+			}
+		})
+	}
 }

@@ -88,6 +88,14 @@ func (s *Scenario) planPartition(cfg cluster.Config) *partitionPlan {
 	if !preseeded {
 		return nil
 	}
+	// Partition faults couple every shard through the attachment manager:
+	// the lease reconciler's reachability probe is global state, so such
+	// scenarios stay serial.
+	for _, f := range s.opt.faults {
+		if f.Kind == FaultPartition {
+			return nil
+		}
+	}
 	minFactor := 1.0
 	var fabricFaults []FaultSpec
 	for _, f := range s.opt.faults {
@@ -160,8 +168,8 @@ func (s *Scenario) planPartition(cfg cluster.Config) *partitionPlan {
 	// Keep only components with VMs; a component carrying faults or traffic
 	// but no VM would lose its trace events in a sharded run, so such
 	// scenarios stay serial.
-	kept := make([]int, 0, len(raw))   // raw indices of surviving shards
-	keptIdx := make([]int, len(raw))   // raw index -> plan shard index
+	kept := make([]int, 0, len(raw)) // raw indices of surviving shards
+	keptIdx := make([]int, len(raw)) // raw index -> plan shard index
 	for gi := range raw {
 		keptIdx[gi] = -1
 		if len(raw[gi].vms) > 0 {

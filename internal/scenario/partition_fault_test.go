@@ -1,0 +1,254 @@
+package scenario
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/hybridmig/hybridmig/internal/cluster"
+	"github.com/hybridmig/hybridmig/internal/lease"
+	"github.com/hybridmig/hybridmig/internal/trace"
+)
+
+// partitioned builds the canonical fencing scenario: one multiattach VM whose
+// destination node is partitioned away mid-switchover, long enough for the
+// lease TTL+grace to elapse, with a retry budget that converges after heal.
+func partitioned(opts ...Option) *Scenario {
+	set := NewSetup(ScaleSmall, 4)
+	base := []Option{WithConfig(set.Cluster),
+		WithRetry(RetrySpec{MaxAttempts: 6, Backoff: 1}),
+		// The migration window opens at the 8 s warm-up and a shared-storage
+		// switchover completes in under a second, so the partition must land
+		// at 8.2 to starve the destination lease mid-window.
+		WithFaults(FaultSpec{Kind: FaultPartition, Node: 1, At: 8.2, Duration: 8}),
+	}
+	return New(append(base, opts...)...).
+		AddVM(VMSpec{Name: "vm0", Node: 0, Approach: cluster.MultiAttach,
+			Workload: IOR(&set.IOR)}).
+		MigrateAt("vm0", 1, set.Warmup)
+}
+
+// TestPartitionFencesMultiattachMigration is the tentpole acceptance
+// scenario: a partition of the destination mid-dual-attach window starves the
+// destination lease past TTL+grace, the reconciler fences it, the attempt
+// aborts with a first-class Fenced outcome, and retries converge once the
+// partition heals — with zero write-authority violations throughout.
+func TestPartitionFencesMultiattachMigration(t *testing.T) {
+	res, err := partitioned().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := res.VM("vm0")
+	if !vm.Migrated {
+		t.Fatal("VM never completed its migration after the partition healed")
+	}
+	if vm.Node != 1 {
+		t.Fatalf("VM ended on node %d, want 1", vm.Node)
+	}
+	if vm.Fenced == 0 {
+		t.Fatal("partition mid-switchover did not produce a Fenced outcome")
+	}
+	if vm.Aborts < vm.Fenced {
+		t.Fatalf("fenced=%d exceeds aborts=%d: Fenced must be a subset of Aborts", vm.Fenced, vm.Aborts)
+	}
+	if vm.Retries == 0 {
+		t.Fatal("fenced attempt was never re-admitted")
+	}
+	if res.TotalFenced() != vm.Fenced {
+		t.Fatal("result aggregate disagrees with the per-VM fenced count")
+	}
+	if res.SplitBrainWindows != 0 {
+		t.Fatalf("SplitBrainWindows = %d, want 0 with fencing enabled", res.SplitBrainWindows)
+	}
+}
+
+// TestPartitionFencedDeterminism: the fenced scenario is bit-for-bit
+// reproducible, and its capture carries the fenced line.
+func TestPartitionFencedDeterminism(t *testing.T) {
+	a, err := partitioned(WithSeedCapture()).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := partitioned(WithSeedCapture()).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SeedCapture != b.SeedCapture {
+		t.Fatal("fenced scenario re-run diverged from the seed capture")
+	}
+	if !strings.Contains(a.SeedCapture, "fenced=") {
+		t.Fatalf("capture of a fenced run carries no fenced line:\n%s", a.SeedCapture)
+	}
+}
+
+// TestPartitionLeaseObserverEvents checks the lease-protocol trace contract:
+// acquisition, expiry, and the fencing decision reach observers in time
+// order, and the fenced abort is labeled as such.
+func TestPartitionLeaseObserverEvents(t *testing.T) {
+	var events []trace.Event
+	rec := trace.ObserverFunc(func(e trace.Event) { events = append(events, e) })
+	res, err := partitioned(WithObserver(rec)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VM("vm0").Fenced == 0 {
+		t.Fatal("scenario did not exercise the fencing path")
+	}
+	var sawAcquire, sawExpire, sawFence, sawFencedAbort bool
+	last := -1.0
+	for _, e := range events {
+		if e.Time < last {
+			t.Fatalf("event %v out of time order", e)
+		}
+		last = e.Time
+		switch e.Kind {
+		case trace.KindLeaseAcquired:
+			sawAcquire = true
+		case trace.KindLeaseExpired:
+			sawExpire = true
+			if !sawAcquire {
+				t.Fatal("lease expired before any acquisition")
+			}
+		case trace.KindLeaseFenced:
+			sawFence = true
+			if !sawExpire {
+				t.Fatal("fence before the lease expired")
+			}
+		case trace.KindMigrationAborted:
+			if e.Detail == "fenced" {
+				sawFencedAbort = true
+				if !sawFence {
+					t.Fatal("fenced abort before the fencing decision")
+				}
+			}
+		case trace.KindSplitBrain:
+			t.Fatal("split-brain event with fencing enabled")
+		}
+	}
+	if !sawAcquire || !sawExpire || !sawFence || !sawFencedAbort {
+		t.Fatalf("missing lease events: acquire=%v expire=%v fence=%v fencedAbort=%v",
+			sawAcquire, sawExpire, sawFence, sawFencedAbort)
+	}
+}
+
+// TestPVFSSharedFencedOnSourcePartition: the degenerate single-lease mode —
+// a pvfs-shared source partitioned away mid-migration is fenced, the attempt
+// aborts Fenced, and the heal lets a retry complete.
+func TestPVFSSharedFencedOnSourcePartition(t *testing.T) {
+	set := NewSetup(ScaleSmall, 4)
+	s := New(WithConfig(set.Cluster),
+		WithRetry(RetrySpec{MaxAttempts: 6, Backoff: 1}),
+		WithFaults(FaultSpec{Kind: FaultPartition, Node: 0, At: 8.2, Duration: 8})).
+		AddVM(VMSpec{Name: "vm0", Node: 0, Approach: cluster.PVFSShared,
+			Workload: IOR(&set.IOR)}).
+		MigrateAt("vm0", 1, set.Warmup)
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := res.VM("vm0")
+	if vm.Fenced == 0 {
+		t.Fatal("source partition did not fence the pvfs-shared lease")
+	}
+	if !vm.Migrated {
+		t.Fatal("pvfs-shared migration did not converge after heal")
+	}
+}
+
+// TestNoFencingSplitBrainDetected is the teeth test: with fencing disabled,
+// the same destination-window partition of the *source* (the authority
+// holder) triggers the unsafe failover, both sides write, and the write-epoch
+// detector turns the silent corruption into a hard simulation error.
+func TestNoFencingSplitBrainDetected(t *testing.T) {
+	set := NewSetup(ScaleSmall, 4)
+	cfg := set.Cluster
+	cfg.Lease.NoFencing = true
+	s := New(WithConfig(cfg),
+		WithRetry(RetrySpec{MaxAttempts: 2, Backoff: 1}),
+		WithFaults(FaultSpec{Kind: FaultPartition, Node: 0, At: 8.2, Duration: 8})).
+		AddVM(VMSpec{Name: "vm0", Node: 0, Approach: cluster.MultiAttach,
+			Workload: IOR(&set.IOR)}).
+		MigrateAt("vm0", 1, set.Warmup)
+	res, err := s.Run()
+	if err == nil {
+		t.Fatal("split brain went undetected: Run returned no error")
+	}
+	if !errors.Is(err, lease.ErrCorruption) {
+		t.Fatalf("error %v does not wrap lease.ErrCorruption", err)
+	}
+	if res == nil {
+		t.Fatal("corruption error must still carry the partial result")
+	}
+	if res.SplitBrainWindows == 0 {
+		t.Fatal("no split-brain window recorded despite the corruption error")
+	}
+}
+
+// TestPartitionFaultValidation exercises the FaultPartition validation error
+// paths, mirroring TestFaultValidation.
+func TestPartitionFaultValidation(t *testing.T) {
+	set := NewSetup(ScaleSmall, 4)
+	vm := VMSpec{Name: "a", Node: 0, Approach: cluster.OurApproach}
+	cases := []struct {
+		name string
+		s    *Scenario
+		want string
+	}{
+		{"partition negative node", New(WithConfig(set.Cluster),
+			WithFaults(FaultSpec{Kind: FaultPartition, Node: -1, At: 1, Duration: 2})).
+			AddVM(vm).MigrateAt("a", 1, 1), "negative node"},
+		{"partition node out of range", New(WithConfig(set.Cluster),
+			WithFaults(FaultSpec{Kind: FaultPartition, Node: 99, At: 1, Duration: 2})).
+			AddVM(vm).MigrateAt("a", 1, 1), "out of range"},
+		{"partition no duration", New(WithConfig(set.Cluster),
+			WithFaults(FaultSpec{Kind: FaultPartition, Node: 1, At: 1})).
+			AddVM(vm).MigrateAt("a", 1, 1), "positive duration"},
+		{"partition negative duration", New(WithConfig(set.Cluster),
+			WithFaults(FaultSpec{Kind: FaultPartition, Node: 1, At: 1, Duration: -3})).
+			AddVM(vm).MigrateAt("a", 1, 1), "positive duration"},
+		{"partition heal past horizon", New(WithConfig(set.Cluster), WithHorizon(10),
+			WithFaults(FaultSpec{Kind: FaultPartition, Node: 1, At: 5, Duration: 100})).
+			AddVM(vm).MigrateAt("a", 1, 1), "past the horizon"},
+		{"partition negative time", New(WithConfig(set.Cluster),
+			WithFaults(FaultSpec{Kind: FaultPartition, Node: 1, At: -1, Duration: 2})).
+			AddVM(vm).MigrateAt("a", 1, 1), "negative time"},
+		{"overlapping partitions", New(WithConfig(set.Cluster),
+			WithFaults(
+				FaultSpec{Kind: FaultPartition, Node: 1, At: 10, Duration: 20},
+				FaultSpec{Kind: FaultPartition, Node: 1, At: 15, Duration: 5},
+			)).
+			AddVM(vm).MigrateAt("a", 1, 1), "overlapping"},
+		{"partition overlapping link degrade", New(WithConfig(set.Cluster),
+			WithFaults(
+				FaultSpec{Kind: FaultLinkDegrade, Node: 1, At: 10, Factor: 0.5, Duration: 20},
+				FaultSpec{Kind: FaultPartition, Node: 1, At: 15, Duration: 5},
+			)).
+			AddVM(vm).MigrateAt("a", 1, 1), "overlapping"},
+	}
+	for _, c := range cases {
+		res, err := c.s.Run()
+		if err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		if !errors.Is(err, ErrInvalidScenario) {
+			t.Errorf("%s: error %v does not wrap ErrInvalidScenario", c.name, err)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+		if res != nil {
+			t.Errorf("%s: validation failure returned a result", c.name)
+		}
+	}
+	// Partitions of different nodes may overlap in time.
+	_, err := New(WithConfig(set.Cluster),
+		WithFaults(
+			FaultSpec{Kind: FaultPartition, Node: 1, At: 30, Duration: 5},
+			FaultSpec{Kind: FaultPartition, Node: 2, At: 30, Duration: 5},
+		)).
+		AddVM(vm).MigrateAt("a", 1, 1).Run()
+	if err != nil {
+		t.Fatalf("partitions of distinct nodes rejected: %v", err)
+	}
+}

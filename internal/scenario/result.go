@@ -70,6 +70,9 @@ type VMResult struct {
 	Aborts       int
 	AbortedBytes float64
 	Exhausted    bool
+	// Fenced counts attempts aborted by fencing decisions of the
+	// shared-volume attachment manager (a subset of Aborts).
+	Fenced int
 
 	Workload WorkloadResult
 }
@@ -92,6 +95,9 @@ type Result struct {
 	SeedCapture string
 	// Config is the resolved cluster configuration the run used.
 	Config cluster.Config
+	// SplitBrainWindows counts the unsafe failovers the attachment manager
+	// took over the whole run (possible only with lease fencing disabled).
+	SplitBrainWindows int
 }
 
 // VM returns the named VM's result, or nil.
@@ -141,6 +147,15 @@ func (r *Result) TotalAbortedBytes() float64 {
 	return b
 }
 
+// TotalFenced sums every VM's fenced migration attempts.
+func (r *Result) TotalFenced() int {
+	var n int
+	for i := range r.VMs {
+		n += r.VMs[i].Fenced
+	}
+	return n
+}
+
 // TotalCounter sums every VM's computational-potential counter (Fig. 4's
 // degradation numerator).
 func (r *Result) TotalCounter() float64 {
@@ -167,6 +182,7 @@ func (s *Scenario) collect(tb *cluster.Testbed, insts []*cluster.Instance, runne
 		rep := cm1.Report
 		res.CM1 = &rep
 	}
+	res.SplitBrainWindows = tb.Leases().SplitBrainWindows()
 	for i, inst := range insts {
 		vr := &res.VMs[i]
 		vr.Name = inst.Name
@@ -186,6 +202,7 @@ func (s *Scenario) collect(tb *cluster.Testbed, insts []*cluster.Instance, runne
 		vr.Aborts = inst.Aborts
 		vr.AbortedBytes = inst.AbortedBytes
 		vr.Exhausted = inst.Exhausted
+		vr.Fenced = inst.Fenced
 		vr.Workload = runners[i].result()
 	}
 	if s.opt.seedCapture {
@@ -241,6 +258,11 @@ func (r *Result) capture() string {
 			fmt.Fprintf(&b, "vm %s faults retries=%d aborts=%d exhausted=%t wasted=%x\n",
 				v.Name, v.Retries, v.Aborts, v.Exhausted, v.AbortedBytes)
 		}
+		// A separate conditional line keeps fence-free captures (including
+		// the pre-lease goldens) byte-identical.
+		if v.Fenced > 0 {
+			fmt.Fprintf(&b, "vm %s fenced=%d\n", v.Name, v.Fenced)
+		}
 	}
 	for ci, c := range r.Campaigns {
 		if c == nil {
@@ -252,6 +274,13 @@ func (r *Result) capture() string {
 			fmt.Fprintf(&b, "campaign %d faults retries=%d exhausted=%d wasted=%x\n",
 				ci, c.Retries, c.ExhaustedJobs, c.WastedBytes)
 		}
+		if c.FencedMigrations > 0 || c.SplitBrainWindows > 0 {
+			fmt.Fprintf(&b, "campaign %d fenced=%d splitbrain=%d\n",
+				ci, c.FencedMigrations, c.SplitBrainWindows)
+		}
+	}
+	if r.SplitBrainWindows > 0 {
+		fmt.Fprintf(&b, "splitbrain windows=%d\n", r.SplitBrainWindows)
 	}
 	for _, t := range flow.Tags() {
 		if v := r.Traffic[t.String()]; v > 0 {

@@ -150,6 +150,12 @@ const (
 	FaultLinkDegrade
 	// FaultFabricDegrade scales the shared switch fabric the same way.
 	FaultFabricDegrade
+	// FaultPartition isolates node Node from the network for
+	// [At, At+Duration): both NIC directions black out AND the node counts
+	// as unreachable to the shared-volume attachment manager, so leases held
+	// there stop renewing — which is what forces the lease protocol to
+	// fence. Factor and VM are ignored.
+	FaultPartition
 )
 
 func (k FaultKind) String() string {
@@ -162,6 +168,8 @@ func (k FaultKind) String() string {
 		return "link-degrade"
 	case FaultFabricDegrade:
 		return "fabric-degrade"
+	case FaultPartition:
+		return "partition"
 	}
 	return fmt.Sprintf("fault(%d)", int(k))
 }
@@ -378,7 +386,7 @@ func (s *Scenario) maxNodeIndex() int {
 		}
 	}
 	for _, f := range s.opt.faults {
-		if (f.Kind == FaultLinkDegrade) && f.Node > max {
+		if (f.Kind == FaultLinkDegrade || f.Kind == FaultPartition) && f.Node > max {
 			max = f.Node
 		}
 	}
@@ -487,20 +495,42 @@ func (s *Scenario) resolve() (cluster.Config, Setup, map[string]int, error) {
 			if err := checkTime(fmt.Sprintf("fault %d (%s) restore", fi, f.Kind), f.At+f.Duration); err != nil {
 				return zero, Setup{}, nil, err
 			}
+		case FaultPartition:
+			if f.Node < 0 {
+				return zero, Setup{}, nil, invalidf("fault %d (%s) targets negative node %d", fi, f.Kind, f.Node)
+			}
+			if f.Duration <= 0 {
+				return zero, Setup{}, nil, invalidf("fault %d (%s) needs a positive duration", fi, f.Kind)
+			}
+			if err := checkTime(fmt.Sprintf("fault %d (%s) heal", fi, f.Kind), f.At+f.Duration); err != nil {
+				return zero, Setup{}, nil, err
+			}
 		default:
 			return zero, Setup{}, nil, invalidf("fault %d has unknown kind %d", fi, int(f.Kind))
 		}
 	}
-	// Degradation windows on the same link must not overlap: each window's
-	// restore step sets the link back to full capacity, so an inner window
-	// would silently cancel the tail of an outer one.
+	// Degradation and partition windows on the same link must not overlap:
+	// each window's restore step sets the link back to full capacity, so an
+	// inner window would silently cancel the tail of an outer one. Partition
+	// and link-degrade faults share a node's NIC links, so windows of the
+	// two kinds conflict with each other too.
+	nicNode := func(f FaultSpec) (int, bool) {
+		if f.Kind == FaultLinkDegrade || f.Kind == FaultPartition {
+			return f.Node, true
+		}
+		return 0, false
+	}
 	for i, a := range s.opt.faults {
-		if a.Kind != FaultLinkDegrade && a.Kind != FaultFabricDegrade {
+		an, aNIC := nicNode(a)
+		if !aNIC && a.Kind != FaultFabricDegrade {
 			continue
 		}
 		for j := i + 1; j < len(s.opt.faults); j++ {
 			b := s.opt.faults[j]
-			if b.Kind != a.Kind || (a.Kind == FaultLinkDegrade && a.Node != b.Node) {
+			bn, bNIC := nicNode(b)
+			sameLink := (aNIC && bNIC && an == bn) ||
+				(a.Kind == FaultFabricDegrade && b.Kind == FaultFabricDegrade)
+			if !sameLink {
 				continue
 			}
 			if a.At < b.At+b.Duration && b.At < a.At+a.Duration {
@@ -613,6 +643,11 @@ func (s *Scenario) Run() (*Result, error) {
 	res := s.collect(ss.tb, ss.insts, ss.runners, ss.cm1, ss.campaigns)
 	if runErr != nil {
 		return res, runErr
+	}
+	// Silent split brain is a hard simulation error: any write the attachment
+	// manager could not attribute to a valid lease corrupted the shared image.
+	if err := ss.tb.Leases().Err(); err != nil {
+		return res, err
 	}
 	for ci, c := range ss.campaigns {
 		if c == nil {
@@ -773,6 +808,9 @@ func (s *Scenario) armFaults(tb *cluster.Testbed, insts []*cluster.Instance, byN
 				{At: f.At, Role: fabric.LinkFabric, Factor: f.Factor},
 				{At: f.At + f.Duration, Role: fabric.LinkFabric, Factor: 1},
 			}, bus)
+		case FaultPartition:
+			tb.Eng.At(f.At, func() { emit(f, float64(f.Node)) })
+			tb.Cl.Partition(f.Node, f.At, f.Duration, bus)
 		}
 	}
 }

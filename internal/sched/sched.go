@@ -55,6 +55,10 @@ type Job struct {
 	// instance has wasted on aborted attempts; the campaign records the
 	// delta accrued while the job ran.
 	Wasted func() float64
+	// Fenced, when non-nil, returns the cumulative count of this job's
+	// attempts aborted by fencing decisions; the campaign records the delta
+	// accrued while the job ran.
+	Fenced func() int
 }
 
 // Retry bounds re-admission of fault-aborted jobs. The zero value disables
@@ -242,6 +246,10 @@ func (o *Orchestrator) RunRetry(p *sim.Proc, jobs []Job, pol Policy, retry Retry
 			if j.Wasted != nil {
 				wasted0 = j.Wasted()
 			}
+			var fenced0 int
+			if j.Fenced != nil {
+				fenced0 = j.Fenced()
+			}
 			backoff := retry.Backoff
 			for {
 				st.Attempts++
@@ -296,6 +304,10 @@ func (o *Orchestrator) RunRetry(p *sim.Proc, jobs []Job, pol Policy, retry Retry
 			if j.Wasted != nil {
 				st.WastedBytes = j.Wasted() - wasted0
 				c.WastedBytes += st.WastedBytes
+			}
+			if j.Fenced != nil {
+				st.Fenced = j.Fenced() - fenced0
+				c.FencedMigrations += st.Fenced
 			}
 			wg.Done(eng)
 		})

@@ -33,7 +33,7 @@ func (s *precopy) MakeImage(backing vm.DiskImage) vm.DiskImage {
 	return s.img
 }
 
-func (s *precopy) HostCache() bool           { return true }
+func (s *precopy) HostCache() bool            { return true }
 func (s *precopy) AttachGuest(g *guest.Guest) { s.gst = g }
 
 // Migrate runs memory and block migration together; migration time is the

@@ -39,6 +39,7 @@ import (
 	"github.com/hybridmig/hybridmig/internal/fabric"
 	"github.com/hybridmig/hybridmig/internal/guest"
 	"github.com/hybridmig/hybridmig/internal/hv"
+	"github.com/hybridmig/hybridmig/internal/lease"
 	"github.com/hybridmig/hybridmig/internal/params"
 	"github.com/hybridmig/hybridmig/internal/pfs"
 	"github.com/hybridmig/hybridmig/internal/sim"
@@ -59,6 +60,10 @@ type Env struct {
 	Bus     *trace.Bus
 	HV      params.Hypervisor
 	Manager params.Manager
+	// Leases is the testbed's shared-volume attachment manager; strategies
+	// whose images live on shared storage route attach/detach and switchover
+	// authority through it (nil only in stripped-down unit tests).
+	Leases *lease.Manager
 	// ManagerOverride, when non-nil, replaces the manager options derived
 	// from Manager (the ablation hook; see cluster.Config).
 	ManagerOverride *core.Options
@@ -112,6 +117,11 @@ type Outcome struct {
 	// Aborted marks an attempt torn down by an injected fault; the VM is
 	// live at (or back on) the source.
 	Aborted bool
+	// Fenced marks an aborted attempt whose abort was a fencing decision:
+	// the attachment manager revoked a lease (or refused to grant one)
+	// rather than risk two writers on a shared volume. Always implies
+	// Aborted.
+	Fenced bool
 	// StorageWasted is the storage wire traffic an aborted attempt put on
 	// the network (the hypervisor's own wasted bytes are in HV).
 	StorageWasted float64

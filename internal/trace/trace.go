@@ -64,6 +64,25 @@ const (
 	// KindLinkCapacity marks a scheduled link-capacity change taking effect.
 	// Detail is the link name; Value the new capacity in bytes/s.
 	KindLinkCapacity
+	// KindLeaseAcquired marks an attachment lease granted (or handed over) on
+	// a shared volume. VM is the volume name, Detail the holder node, Value
+	// the write-authority epoch.
+	KindLeaseAcquired
+	// KindLeaseRenewed marks a lease holder heartbeating successfully at a
+	// reconciler tick. VM is the volume, Detail the holder node.
+	KindLeaseRenewed
+	// KindLeaseExpired marks a lease lapsing past its TTL without renewal
+	// (holder unreachable); the grace period starts. VM is the volume,
+	// Detail the holder node.
+	KindLeaseExpired
+	// KindLeaseFenced marks the reconciler fencing a holder whose lease
+	// stayed expired through the grace period: its attachment is revoked and
+	// its writes are blocked. VM is the volume, Detail the fenced node.
+	KindLeaseFenced
+	// KindSplitBrain marks the unsafe failover taken when fencing is
+	// disabled: a second writer is activated while the silent holder may
+	// still be writing. VM is the volume, Detail the new writer node.
+	KindSplitBrain
 )
 
 // String returns the kind's wire/report name.
@@ -97,6 +116,16 @@ func (k Kind) String() string {
 		return "migration-retried"
 	case KindLinkCapacity:
 		return "link-capacity"
+	case KindLeaseAcquired:
+		return "lease-acquired"
+	case KindLeaseRenewed:
+		return "lease-renewed"
+	case KindLeaseExpired:
+		return "lease-expired"
+	case KindLeaseFenced:
+		return "lease-fenced"
+	case KindSplitBrain:
+		return "split-brain"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }

@@ -58,4 +58,18 @@ const (
 	// KindLinkCapacity: a scheduled link-capacity change took effect
 	// (Detail = link name, Value = new capacity in bytes/s).
 	KindLinkCapacity = trace.KindLinkCapacity
+	// KindLeaseAcquired: a node acquired (or was granted) a shared-volume
+	// lease (VM = volume name, Detail = holder node, Value = write epoch).
+	KindLeaseAcquired = trace.KindLeaseAcquired
+	// KindLeaseRenewed: the reconciler renewed a reachable holder's lease.
+	KindLeaseRenewed = trace.KindLeaseRenewed
+	// KindLeaseExpired: a holder stayed silent past the lease TTL
+	// (Value = the silent age in seconds).
+	KindLeaseExpired = trace.KindLeaseExpired
+	// KindLeaseFenced: the reconciler fenced a holder silent past TTL+grace;
+	// its writes are blocked from this instant on.
+	KindLeaseFenced = trace.KindLeaseFenced
+	// KindSplitBrain: with fencing disabled, the attachment manager handed
+	// write authority to a survivor while the silent holder may still write.
+	KindSplitBrain = trace.KindSplitBrain
 )

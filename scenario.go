@@ -56,6 +56,11 @@ const (
 	FaultLinkDegrade = scenario.FaultLinkDegrade
 	// FaultFabricDegrade scales the shared switch fabric the same way.
 	FaultFabricDegrade = scenario.FaultFabricDegrade
+	// FaultPartition cuts a node off the network for Duration seconds: its
+	// NIC blacks out in both directions and the node counts as unreachable
+	// to the shared-volume attachment manager, so leases it holds expire and
+	// are fenced once silent past TTL+grace.
+	FaultPartition = scenario.FaultPartition
 )
 
 // TrafficSpec declares one background cross-traffic source competing with
