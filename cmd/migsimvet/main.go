@@ -1,0 +1,41 @@
+// Command migsimvet is the simulator's determinism-contract vet tool: five
+// project-specific analyzers run through the `go vet -vettool` protocol,
+// so the contract that keeps the golden suites bit-for-bit is enforced at
+// compile time rather than discovered at golden-diff time.
+//
+// Usage:
+//
+//	go build -o bin/migsimvet ./cmd/migsimvet
+//	go vet -vettool=$(pwd)/bin/migsimvet ./...
+//
+//	migsimvet -list           # the suite and its one-line docs
+//	migsimvet help simclock   # the full contract for one analyzer
+//
+// The analyzers, each with a justified-annotation escape hatch
+// (DESIGN.md §18):
+//
+//	detmaprange   order-sensitive map iteration in deterministic packages
+//	simclock      wall-clock time / global math/rand in simulation code
+//	goldenfloat   decimal float verbs in golden- and seed-capture paths
+//	registerinit  strategy.Register outside init() or internal/strategy
+//	errsentinel   ==/!= or %v-wrapping of Err* sentinels
+package main
+
+import (
+	"github.com/hybridmig/hybridmig/internal/analysis/detmaprange"
+	"github.com/hybridmig/hybridmig/internal/analysis/driver"
+	"github.com/hybridmig/hybridmig/internal/analysis/errsentinel"
+	"github.com/hybridmig/hybridmig/internal/analysis/goldenfloat"
+	"github.com/hybridmig/hybridmig/internal/analysis/registerinit"
+	"github.com/hybridmig/hybridmig/internal/analysis/simclock"
+)
+
+func main() {
+	driver.Main(
+		detmaprange.Analyzer,
+		simclock.Analyzer,
+		goldenfloat.Analyzer,
+		registerinit.Analyzer,
+		errsentinel.Analyzer,
+	)
+}

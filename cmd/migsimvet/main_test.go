@@ -1,0 +1,55 @@
+package main_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestListSmoke builds the tool and checks -list names every analyzer with
+// a one-line doc, mirroring `migsim -list` for strategies.
+func TestListSmoke(t *testing.T) {
+	tool := filepath.Join(t.TempDir(), "migsimvet")
+	build := exec.Command("go", "build", "-o", tool, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building migsimvet: %v\n%s", err, out)
+	}
+	out, err := exec.Command(tool, "-list").Output()
+	if err != nil {
+		t.Fatalf("migsimvet -list: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("migsimvet -list printed %d lines, want 5:\n%s", len(lines), out)
+	}
+	for _, name := range []string{"detmaprange", "simclock", "goldenfloat", "registerinit", "errsentinel"} {
+		found := false
+		for _, line := range lines {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[0] == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("-list output missing analyzer %q with a doc line:\n%s", name, out)
+		}
+	}
+}
+
+// TestPrintPath covers the -print-path convenience documented in README.
+func TestPrintPath(t *testing.T) {
+	tool := filepath.Join(t.TempDir(), "migsimvet")
+	build := exec.Command("go", "build", "-o", tool, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building migsimvet: %v\n%s", err, out)
+	}
+	out, err := exec.Command(tool, "-print-path").Output()
+	if err != nil {
+		t.Fatalf("migsimvet -print-path: %v", err)
+	}
+	if got := strings.TrimSpace(string(out)); !filepath.IsAbs(got) {
+		t.Fatalf("-print-path printed %q, want an absolute path", got)
+	}
+}

@@ -1,0 +1,268 @@
+// Package atest is the fixture harness for the migsim analyzers: an
+// in-process reimplementation of x/tools' analysistest sized for this
+// suite.
+//
+// Fixtures live under <analyzer>/testdata/src/<importpath>/ exactly as with
+// analysistest, and expectations are written as trailing comments:
+//
+//	for k := range m { // want `order-sensitive range over map`
+//
+// Each `want` carries one or more Go string literals (quoted or
+// backquoted), each a regexp that must match the message of a diagnostic
+// reported on that line; diagnostics and expectations must match 1:1.
+//
+// Imports inside fixtures resolve first against the fixture tree itself
+// (so a fixture can import a stub github.com/hybridmig/hybridmig/internal/
+// strategy), then against the standard library, which is typechecked from
+// GOROOT source — no compiled export data or network needed.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/scanner"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/hybridmig/hybridmig/internal/analysis"
+	"github.com/hybridmig/hybridmig/internal/analysis/driver"
+)
+
+// One process-wide fileset and source importer: the GOROOT closure of
+// fmt/time/math/rand is typechecked once, not once per analyzer test.
+var (
+	fset        = token.NewFileSet()
+	stdOnce     sync.Once
+	stdImporter types.Importer
+)
+
+func std() types.Importer {
+	stdOnce.Do(func() { stdImporter = importer.ForCompiler(fset, "source", nil) })
+	return stdImporter
+}
+
+// Run loads each named package from dir/src/<path>, applies the analyzer,
+// and checks its diagnostics against the fixtures' want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	if err := analysis.Validate([]*analysis.Analyzer{a}); err != nil {
+		t.Fatal(err)
+	}
+	ld := &loader{dir: dir, pkgs: map[string]*loaded{}}
+	for _, path := range paths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", path, err)
+			continue
+		}
+		check(t, a, pkg)
+	}
+}
+
+// A loaded fixture package: syntax plus type information.
+type loaded struct {
+	path  string
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+	err   error
+}
+
+type loader struct {
+	dir  string
+	pkgs map[string]*loaded
+}
+
+func (ld *loader) load(path string) (*loaded, error) {
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, pkg.err
+	}
+	pkg := &loaded{path: path}
+	ld.pkgs[path] = pkg // pre-insert to cut import cycles off at an error
+
+	pkgDir := filepath.Join(ld.dir, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(pkgDir)
+	if err != nil {
+		pkg.err = err
+		return pkg, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		pkg.err = fmt.Errorf("no Go files in %s", pkgDir)
+		return pkg, pkg.err
+	}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(pkgDir, name), nil, parser.ParseComments)
+		if err != nil {
+			pkg.err = err
+			return pkg, err
+		}
+		pkg.files = append(pkg.files, f)
+	}
+
+	pkg.info = &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		FileVersions: make(map[*ast.File]string),
+	}
+	tc := &types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			if _, err := os.Stat(filepath.Join(ld.dir, "src", filepath.FromSlash(importPath))); err == nil {
+				dep, err := ld.load(importPath)
+				if err != nil {
+					return nil, err
+				}
+				return dep.pkg, nil
+			}
+			return std().Import(importPath)
+		}),
+		Sizes: types.SizesFor("gc", build.Default.GOARCH),
+	}
+	pkg.pkg, pkg.err = tc.Check(path, fset, pkg.files, pkg.info)
+	return pkg, pkg.err
+}
+
+// check runs the analyzer on one loaded fixture and diffs diagnostics
+// against want expectations.
+func check(t *testing.T, a *analysis.Analyzer, pkg *loaded) {
+	t.Helper()
+	results := driver.RunAnalyzers([]*analysis.Analyzer{a}, &analysis.Pass{
+		Fset:       fset,
+		Files:      pkg.files,
+		Pkg:        pkg.pkg,
+		TypesInfo:  pkg.info,
+		TypesSizes: types.SizesFor("gc", build.Default.GOARCH),
+		Module:     &analysis.Module{Path: "example.com/fixture"},
+	})
+	res := results[0]
+	if res.Err != nil {
+		t.Errorf("%s on %s: unexpected analyzer error: %v", a.Name, pkg.path, res.Err)
+		return
+	}
+
+	wants, err := wantsOf(pkg)
+	if err != nil {
+		t.Errorf("%s: bad want comment: %v", pkg.path, err)
+		return
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	pending := map[key][]*want{}
+	for i := range wants {
+		w := &wants[i]
+		k := key{w.file, w.line}
+		pending[k] = append(pending[k], w)
+	}
+
+	for _, d := range res.Diagnostics {
+		posn := fset.Position(d.Pos)
+		k := key{posn.Filename, posn.Line}
+		matched := false
+		for _, w := range pending[k] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// wantsOf extracts `// want "re" ...` expectations from every fixture file.
+func wantsOf(pkg *loaded) ([]want, error) {
+	var wants []want
+	for _, f := range pkg.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				lits, err := scanLiterals(rest)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %v", posn, err)
+				}
+				for _, lit := range lits {
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						return nil, fmt.Errorf("%s: %v", posn, err)
+					}
+					wants = append(wants, want{posn.Filename, posn.Line, re, false})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// scanLiterals parses a space-separated sequence of Go string literals.
+func scanLiterals(s string) ([]string, error) {
+	var sc scanner.Scanner
+	f := token.NewFileSet().AddFile("want", -1, len(s))
+	sc.Init(f, []byte(s), nil, 0)
+	var out []string
+	for {
+		_, tok, lit := sc.Scan()
+		switch tok {
+		case token.STRING:
+			v, err := strconv.Unquote(lit)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		case token.EOF, token.SEMICOLON:
+			if len(out) == 0 {
+				return nil, fmt.Errorf("want comment carries no string literal")
+			}
+			return out, nil
+		default:
+			return nil, fmt.Errorf("unexpected token %s in want comment", tok)
+		}
+	}
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,369 @@
+// Package detmaprange defines an Analyzer that flags order-sensitive
+// iteration over maps in the deterministic simulation packages.
+//
+// Go randomizes map iteration order on purpose; any map range whose body
+// has order-dependent effects (appending to a slice, emitting trace events,
+// floating-point accumulation, last-write-wins assignment) is a latent
+// golden-suite break. The analyzer allows loops it can prove are
+// order-insensitive and otherwise demands either sorted keys or a justified
+// //migsim:unordered <reason> annotation.
+package detmaprange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/hybridmig/hybridmig/internal/analysis"
+	"github.com/hybridmig/hybridmig/internal/analysis/lintutil"
+)
+
+const doc = `flag order-sensitive map iteration in deterministic packages
+
+Iterating a map in internal/{sim,flow,core,cluster,hv,lease,sched,strategy,
+scenario,metrics,trace} is reported unless the loop body is provably
+order-insensitive: integer/bitwise accumulation into scalars, boolean or
+constant flag setting, set membership (map insert/delete), pure
+conditionals around those, and the collect-then-sort idiom (append keys
+into one slice, sort it in the very next statement). Anything else — appends, calls, trace emission,
+floating-point accumulation (bitwise order-dependent!), plain last-write-wins
+assignment — needs sorted keys or a trailing/preceding
+//migsim:unordered <reason> annotation.`
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detmaprange",
+	Doc:  doc,
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lintutil.Deterministic(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		// Map each range statement to its next sibling, so the
+		// collect-then-sort idiom can look one statement ahead.
+		next := make(map[*ast.RangeStmt]ast.Stmt)
+		ast.Inspect(file, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			for i, s := range list {
+				if rng, ok := s.(*ast.RangeStmt); ok && i+1 < len(list) {
+					next[rng] = list[i+1]
+				}
+			}
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if orderInsensitive(pass, rng.Body) {
+				return true
+			}
+			if collectThenSort(pass, rng, next[rng]) {
+				return true
+			}
+			if lintutil.Suppressed(pass, rng.Pos(), "unordered") {
+				return true
+			}
+			pass.Reportf(rng.Pos(), "order-sensitive range over map %s in deterministic package %s: iterate sorted keys, or annotate //migsim:unordered <reason>",
+				types.ExprString(rng.X), pass.Pkg.Name())
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// collectThenSort recognizes the canonical sorted-keys idiom: a loop whose
+// only order-sensitive effect is appending into one slice, immediately
+// followed by a statement that sorts that slice. Whatever order the map
+// yields, the post-sort slice is identical.
+//
+//	for k := range m { keys = append(keys, k) }
+//	slices.Sort(keys)
+func collectThenSort(pass *analysis.Pass, rng *ast.RangeStmt, after ast.Stmt) bool {
+	if after == nil {
+		return false
+	}
+	var target ast.Expr // the single slice collected into
+	for _, s := range rng.Body.List {
+		if allowedStmt(pass, s) {
+			continue
+		}
+		as, ok := s.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isBuiltin(pass, call, "append") || len(call.Args) == 0 {
+			return false
+		}
+		lhs, app := types.ExprString(as.Lhs[0]), types.ExprString(call.Args[0])
+		if lhs != app || target != nil && types.ExprString(target) != lhs {
+			return false
+		}
+		for _, arg := range call.Args[1:] {
+			if containsCall(arg) {
+				return false
+			}
+		}
+		target = as.Lhs[0]
+	}
+	return target != nil && sortsExpr(pass, after, types.ExprString(target))
+}
+
+// sortsExpr reports whether s is a statement sorting the named expression:
+// slices.Sort*/sort.(Strings|Ints|Float64s|Slice|SliceStable|Sort)(target, ...).
+func sortsExpr(pass *analysis.Pass, s ast.Stmt, target string) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "slices":
+		if !strings.HasPrefix(fn.Name(), "Sort") {
+			return false
+		}
+	case "sort":
+		switch fn.Name() {
+		case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort":
+		default:
+			return false
+		}
+	default:
+		return false
+	}
+	return types.ExprString(call.Args[0]) == target
+}
+
+// orderInsensitive conservatively decides whether executing the loop body
+// once per map entry yields the same final state for every iteration order.
+func orderInsensitive(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	for _, s := range body.List {
+		if !allowedStmt(pass, s) {
+			return false
+		}
+	}
+	return true
+}
+
+func allowedStmt(pass *analysis.Pass, s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.IncDecStmt:
+		// count++ / count-- commute across iterations.
+		return simpleLvalue(s.X)
+
+	case *ast.AssignStmt:
+		return allowedAssign(pass, s)
+
+	case *ast.IfStmt:
+		// Set-membership and guarded accumulation: the condition must be
+		// pure (no calls — a call could observe iteration order) and both
+		// branches must themselves be order-insensitive. Note min/max
+		// tracking (`if v > best { best = v }`) is NOT admitted: the plain
+		// assignment is rejected below, because with `>=` ties make the
+		// winner order-dependent and the analyzer cannot see tie-ness.
+		if s.Init != nil && !allowedStmt(pass, s.Init) {
+			return false
+		}
+		if containsCall(s.Cond) {
+			return false
+		}
+		if !orderInsensitive(pass, s.Body) {
+			return false
+		}
+		if s.Else != nil {
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				return orderInsensitive(pass, e)
+			case *ast.IfStmt:
+				return allowedStmt(pass, e)
+			default:
+				return false
+			}
+		}
+		return true
+
+	case *ast.ExprStmt:
+		// delete(m, k) is the only call with an order-insensitive effect.
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			return isBuiltin(pass, call, "delete")
+		}
+		return false
+
+	case *ast.BranchStmt:
+		// continue/break only shorten iteration; with an order-insensitive
+		// body the final state is unchanged. goto/labels are rejected.
+		return s.Label == nil && (s.Tok == token.CONTINUE || s.Tok == token.BREAK)
+
+	case *ast.BlockStmt:
+		return orderInsensitive(pass, s)
+
+	case *ast.DeclStmt:
+		// A loop-local declaration is harmless by itself; its uses are
+		// judged where they occur.
+		return true
+
+	default:
+		return false
+	}
+}
+
+// allowedAssign admits the assignment forms whose final state cannot depend
+// on iteration order.
+func allowedAssign(pass *analysis.Pass, s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.DEFINE:
+		// Loop-local temp; its consumers are checked separately.
+		return true
+
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		// sum += v commutes for integers. For floats it is bitwise
+		// order-dependent (rounding), and for strings it is concatenation
+		// — both rejected. (token.MUL_ASSIGN is rejected for the same
+		// float reason; integer products are rare enough not to carve out.)
+		for _, lhs := range s.Lhs {
+			if !simpleLvalue(lhs) || !integerTyped(pass, lhs) {
+				return false
+			}
+		}
+		return pureExprs(s.Rhs)
+
+	case token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		// Bitwise accumulation commutes on integers. XOR also commutes.
+		for _, lhs := range s.Lhs {
+			if !simpleLvalue(lhs) || !integerTyped(pass, lhs) {
+				return false
+			}
+		}
+		return pureExprs(s.Rhs)
+
+	case token.ASSIGN:
+		for i, lhs := range s.Lhs {
+			var rhs ast.Expr
+			if len(s.Rhs) == len(s.Lhs) {
+				rhs = s.Rhs[i]
+			}
+			if !allowedPlainAssign(pass, lhs, rhs) {
+				return false
+			}
+		}
+		return pureExprs(s.Rhs)
+
+	default:
+		return false
+	}
+}
+
+// allowedPlainAssign admits `=` targets that commute: writes into another
+// map (each key written once per distinct key — collisions resolve to the
+// same value expression regardless of order only when the key is the range
+// key, but we accept any map write: duplicate-key writes with different
+// values would already be a bug under sorted iteration), the blank
+// identifier, and constant flag sets (`found = true`), which store the same
+// value whenever they fire.
+func allowedPlainAssign(pass *analysis.Pass, lhs, rhs ast.Expr) bool {
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return true
+	}
+	if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+		if tv, ok := pass.TypesInfo.Types[idx.X]; ok {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				return true
+			}
+		}
+	}
+	if rhs != nil && simpleLvalue(lhs) {
+		if tv, ok := pass.TypesInfo.Types[rhs]; ok && tv.Value != nil {
+			return true // constant store: same value every iteration
+		}
+	}
+	return false
+}
+
+// simpleLvalue limits accumulation targets to names and field selectors —
+// targets whose identity does not depend on the loop variables.
+func simpleLvalue(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return simpleLvalue(e.X)
+	default:
+		return false
+	}
+}
+
+func integerTyped(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// pureExprs rejects right-hand sides containing calls (other than len/cap,
+// which are pure) — a call could observe or leak iteration order.
+func pureExprs(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		if containsCall(e) {
+			return false
+		}
+	}
+	return true
+}
+
+func isBuiltin(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func containsCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+				return true
+			}
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

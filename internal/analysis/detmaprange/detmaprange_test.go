@@ -1,0 +1,12 @@
+package detmaprange_test
+
+import (
+	"testing"
+
+	"github.com/hybridmig/hybridmig/internal/analysis/atest"
+	"github.com/hybridmig/hybridmig/internal/analysis/detmaprange"
+)
+
+func TestDetMapRange(t *testing.T) {
+	atest.Run(t, "testdata", detmaprange.Analyzer, "internal/sim", "cmd/tool")
+}

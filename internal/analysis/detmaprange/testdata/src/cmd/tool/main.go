@@ -1,0 +1,12 @@
+// Package main is outside the deterministic set: map iteration here is
+// not the golden suites' problem, so nothing is reported.
+package main
+
+func main() {
+	m := map[string]int{"a": 1}
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	_ = out
+}

@@ -1,0 +1,87 @@
+package sim
+
+import "slices"
+
+func sink(string) {}
+
+// flagged: each of these loops has an order-dependent effect.
+func flagged(m map[string]int, weights map[string]float64) []string {
+	var out []string
+	for k := range m { // want `order-sensitive range over map m`
+		out = append(out, k)
+	}
+	for k := range m { // want `order-sensitive range over map m`
+		sink(k) // a call can observe (or emit a trace in) iteration order
+	}
+	var sum float64
+	for _, w := range weights { // want `order-sensitive range over map weights`
+		sum += w // float addition is bitwise order-dependent
+	}
+	var last string
+	for k := range m { // want `order-sensitive range over map m`
+		last = k // last-write-wins
+	}
+	_ = sum
+	_ = last
+	return out
+}
+
+// clean: integer accumulation, set membership, map-to-map projection,
+// delete, and pure guarded flag sets commute across iteration orders.
+func clean(m map[string]int, target string) (int, bool) {
+	total := 0
+	n := 0
+	found := false
+	seen := map[string]bool{}
+	for k, v := range m {
+		total += v
+		n++
+		seen[k] = true
+		if k == target {
+			found = true
+			break
+		}
+	}
+	for k := range m {
+		delete(seen, k)
+	}
+	return total + n, found
+}
+
+// collectThenSort: appending into one slice and sorting it in the very
+// next statement normalizes away the iteration order.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// collectNoSort: the same append without the adjacent sort stays flagged
+// (the slice escapes in map order).
+func collectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `order-sensitive range over map m`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// suppressed: the annotation with a justification silences the report.
+func suppressed(m map[string]int) {
+	//migsim:unordered set union reduction, order-free by construction
+	for k := range m {
+		sink(k)
+	}
+}
+
+// bareAnnotation: an annotation without a reason does not suppress, and
+// draws its own diagnostic.
+func bareAnnotation(m map[string]int) {
+	//migsim:unordered
+	for k := range m { // want `annotation requires a justification` `order-sensitive range over map m`
+		sink(k)
+	}
+}

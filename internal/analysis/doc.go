@@ -1,0 +1,38 @@
+// Package analysis is a compact, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis API surface, sized for this repository's
+// own lint suite (cmd/migsimvet).
+//
+// # Why not depend on x/tools?
+//
+// The simulator is a zero-dependency module and stays that way: the five
+// migsim analyzers need only the Analyzer/Pass/Diagnostic contract plus the
+// `go vet -vettool` driver protocol, none of the facts machinery, and no
+// third-party code. This package defines the same shapes with the same
+// field names, so each analyzer under internal/analysis/... reads exactly
+// like a stock go/analysis pass and could be lifted onto the upstream
+// framework by changing one import line.
+//
+// # The determinism contract
+//
+// The paper reproduction is only trustworthy because every run is
+// bit-for-bit deterministic: the four golden suites (small, paper, fault,
+// partition) pin hex-float captures of every measured quantity. The
+// analyzers in the subdirectories turn the conventions that keep it that
+// way into compile-time diagnostics:
+//
+//   - detmaprange: no order-sensitive iteration over maps in the
+//     deterministic packages (//migsim:unordered <reason> to justify).
+//   - simclock: no wall-clock (time.Now & friends) or global math/rand in
+//     non-test simulation code; time comes from the sim clock, randomness
+//     from an injected seeded *rand.Rand.
+//   - goldenfloat: golden- and seed-capture code renders floats with %x,
+//     never decimal verbs, so full mantissas are pinned.
+//   - registerinit: strategy.Register only from init() in a package under
+//     internal/strategy, so the registry is complete before main starts
+//     and its order is import-order deterministic.
+//   - errsentinel: sentinel errors are compared with errors.Is and wrapped
+//     with %w, so fault-outcome classification survives wrapping chains.
+//
+// See DESIGN.md §18 for the contract prose and the annotation escape
+// hatches, and cmd/migsimvet for the vet tool that enforces it in CI.
+package analysis

@@ -1,0 +1,529 @@
+// Package driver implements the `go vet -vettool` command-line protocol
+// for the migsim analyzer suite, plus the human-facing -list/help modes.
+//
+// The protocol (identical to x/tools' unitchecker, which go vet was built
+// around) has three entry points:
+//
+//	-V=full    print a fingerprint of the executable for build caching
+//	-flags     describe the tool's flags as JSON, so go vet can forward
+//	           user-specified ones
+//	unit.cfg   analyze the single compilation unit described by the JSON
+//	           config file, written by the go command per package
+//
+// For each unit, the go command hands us file lists, the import map, and
+// export-data paths for every dependency; we parse, typecheck against that
+// export data, run the analyzers, print diagnostics as "pos: message" lines
+// on stderr, and exit nonzero if anything was reported. An (empty) facts
+// file is written to cfg.VetxOutput so the build system can cache and
+// thread per-package facts exactly as it does for stock vet — the migsim
+// analyzers are factless, so the file only keeps the protocol honest.
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/hybridmig/hybridmig/internal/analysis"
+)
+
+// A Config mirrors the JSON schema of the go command's vet config files.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of cmd/migsimvet. It never returns.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := "migsimvet"
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	if err := analysis.Validate(analyzers); err != nil {
+		log.Fatal(err)
+	}
+
+	printflags := flag.Bool("flags", false, "print flags as JSON and exit (used by go vet)")
+	list := flag.Bool("list", false, "list the analyzers with their one-line docs and exit")
+	printPath := flag.Bool("print-path", false, "print this executable's path and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON instead of text")
+	context := flag.Int("c", -1, "display offending line with this many lines of context")
+	flag.Var(versionFlag{}, "V", "print version and exit (used by go vet; only -V=full is supported)")
+
+	enabled := make(map[*analysis.Analyzer]*triState)
+	for _, a := range analyzers {
+		ts := new(triState)
+		flag.Var(ts, a.Name, "enable only the named analyses")
+		enabled[a] = ts
+	}
+
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, `%[1]s enforces the simulator's determinism contract (DESIGN.md §18).
+
+Usage:
+	%[1]s -list               # what the suite checks
+	%[1]s unit.cfg            # analyze one unit (invoked by go vet)
+	%[1]s help [name]         # full doc for one analyzer
+
+Run it over the tree with:
+	go build -o bin/%[1]s ./cmd/%[1]s
+	go vet -vettool=$(pwd)/bin/%[1]s ./...
+`, progname)
+		os.Exit(1)
+	}
+	flag.Parse()
+
+	if *printflags {
+		printFlags()
+		os.Exit(0)
+	}
+	if *printPath {
+		exe, err := os.Executable()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(exe)
+		os.Exit(0)
+	}
+	if *list {
+		printList(analyzers)
+		os.Exit(0)
+	}
+
+	// Honor -<name> selections the way vet does: any explicit true runs
+	// only those; otherwise explicit falses subtract.
+	var hasTrue, hasFalse bool
+	for _, ts := range enabled {
+		hasTrue = hasTrue || *ts == setTrue
+		hasFalse = hasFalse || *ts == setFalse
+	}
+	if hasTrue || hasFalse {
+		var keep []*analysis.Analyzer
+		for _, a := range analyzers {
+			if hasTrue && *enabled[a] == setTrue || !hasTrue && *enabled[a] != setFalse {
+				keep = append(keep, a)
+			}
+		}
+		analyzers = keep
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+	}
+	if args[0] == "help" {
+		help(analyzers, args[1:])
+		os.Exit(0)
+	}
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		log.Fatalf(`invoked without a unit config; run via "go vet -vettool" (or see -list / help)`)
+	}
+	run(args[0], analyzers, *jsonOut, *context)
+}
+
+// run analyzes one unit config and exits with the appropriate status.
+func run(configFile string, analyzers []*analysis.Analyzer, jsonOut bool, context int) {
+	cfg, err := readConfig(configFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	diags, err := analyze(fset, cfg, analyzers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+	if jsonOut {
+		printJSON(os.Stdout, fset, cfg.ID, diags)
+		os.Exit(0)
+	}
+	exit := 0
+	for _, ad := range diags {
+		for _, d := range ad.diagnostics {
+			printPlain(os.Stderr, fset, context, d)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+type analyzerDiags struct {
+	name        string
+	diagnostics []analysis.Diagnostic
+}
+
+// analyze loads and typechecks the unit, runs the analyzer DAG, writes the
+// (empty) facts output, and returns per-analyzer diagnostics.
+func analyze(fset *token.FileSet, cfg *Config, analyzers []*analysis.Analyzer) ([]analyzerDiags, error) {
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				os.Exit(0) // the compiler will report it better
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			path, ok := cfg.ImportMap[importPath]
+			if !ok {
+				return nil, fmt.Errorf("can't resolve import %q", importPath)
+			}
+			return compilerImporter.Import(path)
+		}),
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		FileVersions: make(map[*ast.File]string),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		return nil, err
+	}
+
+	module := &analysis.Module{Path: cfg.ModulePath, Version: cfg.ModuleVersion, GoVersion: cfg.GoVersion}
+	results := RunAnalyzers(analyzers, &analysis.Pass{
+		Fset:         fset,
+		Files:        files,
+		OtherFiles:   cfg.NonGoFiles,
+		IgnoredFiles: cfg.IgnoredFiles,
+		Pkg:          pkg,
+		TypesInfo:    info,
+		TypesSizes:   tc.Sizes,
+		Module:       module,
+	})
+
+	// Keep the facts leg of the protocol honest even though no migsim
+	// analyzer produces facts: go vet caches this file and feeds it to
+	// dependent units via PackageVetx.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, fmt.Errorf("failed to export facts: %v", err)
+		}
+	}
+
+	var out []analyzerDiags
+	var errs []string
+	for _, res := range results {
+		if res.Err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", res.Analyzer.Name, res.Err))
+			continue
+		}
+		out = append(out, analyzerDiags{res.Analyzer.Name, res.Diagnostics})
+	}
+	if errs != nil {
+		return nil, fmt.Errorf("%s", strings.Join(errs, "; "))
+	}
+	return out, nil
+}
+
+// A Result pairs an analyzer with what it reported on one package.
+type Result struct {
+	Analyzer    *analysis.Analyzer
+	Diagnostics []analysis.Diagnostic
+	Err         error
+}
+
+// RunAnalyzers executes the analyzers (and their Requires prerequisites,
+// memoized) against the package captured in proto, which supplies every
+// Pass field except Analyzer, ResultOf, and Report. It is shared by the
+// vet path and the in-process test harness so both exercise the same
+// scheduling.
+func RunAnalyzers(analyzers []*analysis.Analyzer, proto *analysis.Pass) []Result {
+	type action struct {
+		result interface{}
+		err    error
+		diags  []analysis.Diagnostic
+		done   bool
+	}
+	actions := make(map[*analysis.Analyzer]*action)
+
+	var exec func(a *analysis.Analyzer) *action
+	exec = func(a *analysis.Analyzer) *action {
+		act, ok := actions[a]
+		if !ok {
+			act = new(action)
+			actions[a] = act
+		}
+		if act.done {
+			return act
+		}
+		act.done = true
+
+		inputs := make(map[*analysis.Analyzer]interface{})
+		var failed []string
+		for _, req := range a.Requires {
+			reqact := exec(req)
+			if reqact.err != nil {
+				failed = append(failed, req.Name)
+				continue
+			}
+			inputs[req] = reqact.result
+		}
+		if failed != nil {
+			sort.Strings(failed)
+			act.err = fmt.Errorf("failed prerequisites: %s", strings.Join(failed, ", "))
+			return act
+		}
+
+		pass := *proto
+		pass.Analyzer = a
+		pass.ResultOf = inputs
+		pass.Report = func(d analysis.Diagnostic) {
+			if d.Category == "" {
+				d.Category = a.Name
+			}
+			act.diags = append(act.diags, d)
+		}
+		act.result, act.err = a.Run(&pass)
+		return act
+	}
+
+	results := make([]Result, len(analyzers))
+	for i, a := range analyzers {
+		act := exec(a)
+		results[i] = Result{a, act.diags, act.err}
+	}
+	return results
+}
+
+func readConfig(filename string) (*Config, error) {
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode JSON config file %s: %v", filename, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+	return cfg, nil
+}
+
+// printPlain renders one diagnostic as "file:line:col: message", optionally
+// followed by the offending source lines.
+func printPlain(w io.Writer, fset *token.FileSet, contextLines int, d analysis.Diagnostic) {
+	posn := fset.Position(d.Pos)
+	fmt.Fprintf(w, "%s: %s\n", posn, d.Message)
+	if contextLines >= 0 {
+		end := fset.Position(d.End)
+		if !end.IsValid() {
+			end = posn
+		}
+		data, _ := os.ReadFile(posn.Filename)
+		lines := strings.Split(string(data), "\n")
+		for i := posn.Line - contextLines; i <= end.Line+contextLines; i++ {
+			if 1 <= i && i <= len(lines) {
+				fmt.Fprintf(w, "%d\t%s\n", i, lines[i-1])
+			}
+		}
+	}
+}
+
+// printJSON renders diagnostics in the same package-id → analyzer → list
+// shape that go vet -json consumers expect from vet tools.
+func printJSON(w io.Writer, fset *token.FileSet, id string, diags []analyzerDiags) {
+	type jsonDiag struct {
+		Category string `json:"category,omitempty"`
+		Posn     string `json:"posn"`
+		Message  string `json:"message"`
+	}
+	tree := map[string]map[string][]jsonDiag{}
+	for _, ad := range diags {
+		if len(ad.diagnostics) == 0 {
+			continue
+		}
+		inner, ok := tree[id]
+		if !ok {
+			inner = map[string][]jsonDiag{}
+			tree[id] = inner
+		}
+		for _, d := range ad.diagnostics {
+			inner[ad.name] = append(inner[ad.name], jsonDiag{
+				Category: d.Category,
+				Posn:     fset.Position(d.Pos).String(),
+				Message:  d.Message,
+			})
+		}
+	}
+	data, err := json.MarshalIndent(tree, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.Write(data)
+	fmt.Fprintln(w)
+}
+
+// printFlags emits the JSON flag description go vet reads to learn which
+// flags it may forward to the tool.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// printList mirrors `migsim -list`: one aligned "name  summary" line per
+// analyzer, in suite order.
+func printList(analyzers []*analysis.Analyzer) {
+	for _, a := range analyzers {
+		fmt.Printf("%-14s %s\n", a.Name, firstLine(a.Doc))
+	}
+}
+
+func help(analyzers []*analysis.Analyzer, names []string) {
+	if len(names) == 0 {
+		printList(analyzers)
+		return
+	}
+	for _, name := range names {
+		found := false
+		for _, a := range analyzers {
+			if a.Name == name {
+				fmt.Printf("%s: %s\n", a.Name, a.Doc)
+				found = true
+			}
+		}
+		if !found {
+			log.Fatalf("no such analyzer %q (see -list)", name)
+		}
+	}
+}
+
+func firstLine(doc string) string {
+	if i := strings.IndexByte(doc, '\n'); i >= 0 {
+		return doc[:i]
+	}
+	return doc
+}
+
+// versionFlag implements the -V=full fingerprint protocol go vet uses for
+// build caching: any output that changes when the binary changes will do,
+// so we hash the executable like stock vet tools.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) Get() interface{} { return nil }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", s)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, string(h.Sum(nil)))
+	os.Exit(0)
+	return nil
+}
+
+// triState distinguishes unset from explicit true/false for the per-
+// analyzer enable flags, matching vet's selection semantics.
+type triState int
+
+const (
+	unset triState = iota
+	setTrue
+	setFalse
+)
+
+func (ts *triState) IsBoolFlag() bool { return true }
+func (ts *triState) Get() interface{} { return *ts == setTrue }
+func (ts triState) String() string {
+	switch ts {
+	case setTrue:
+		return "true"
+	case setFalse:
+		return "false"
+	}
+	return "unset"
+}
+func (ts *triState) Set(value string) error {
+	switch strings.ToLower(value) {
+	case "true", "1", "t":
+		*ts = setTrue
+	case "false", "0", "f":
+		*ts = setFalse
+	default:
+		return fmt.Errorf("invalid boolean %q", value)
+	}
+	return nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,157 @@
+// Package errsentinel defines an Analyzer that keeps sentinel-error
+// handling wrap-safe.
+//
+// The fault paths classify outcomes through wrapping chains —
+// ErrMigrationFenced wraps ErrMigrationAborted, scenario validation wraps
+// ErrInvalidScenario — so a direct ==/!= against an Err* sentinel works
+// today and silently stops matching the day an intermediate layer adds
+// context with %w. Comparisons must use errors.Is, and fmt.Errorf that
+// embeds a sentinel must wrap it with %w (never %v/%s) or the chain is cut.
+// Unlike the clock and map checks this applies to test files too: the
+// golden and conformance suites classify errors exactly like production
+// code does.
+package errsentinel
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/hybridmig/hybridmig/internal/analysis"
+	"github.com/hybridmig/hybridmig/internal/analysis/lintutil"
+)
+
+const doc = `require errors.Is for Err* sentinels and %w when wrapping them
+
+Comparing an error against a package-level Err* sentinel with == or != (or
+a switch case) breaks as soon as any layer wraps the sentinel; use
+errors.Is(err, ErrX). Passing a sentinel to fmt.Errorf under %v/%s instead
+of %w cuts the unwrap chain for every caller downstream. Both patterns are
+reported everywhere, including tests. Escape hatch: //migsim:sentinel
+<reason> (e.g. proving pointer identity on purpose).`
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errsentinel",
+	Doc:  doc,
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				sentinel := sentinelName(pass, n.X)
+				if sentinel == "" {
+					sentinel = sentinelName(pass, n.Y)
+				}
+				if sentinel == "" || !errorTyped(pass, n.X) || !errorTyped(pass, n.Y) {
+					return true
+				}
+				if lintutil.Suppressed(pass, n.Pos(), "sentinel") {
+					return true
+				}
+				pass.Reportf(n.Pos(), "direct %s comparison against sentinel %s breaks under wrapping: use errors.Is (or annotate //migsim:sentinel <reason>)",
+					n.Op, sentinel)
+
+			case *ast.SwitchStmt:
+				// switch err { case ErrX: } is the same identity comparison
+				// in disguise.
+				if n.Tag == nil || !errorTyped(pass, n.Tag) {
+					return true
+				}
+				for _, clause := range n.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if name := sentinelName(pass, e); name != "" {
+							if lintutil.Suppressed(pass, e.Pos(), "sentinel") {
+								continue
+							}
+							pass.Reportf(e.Pos(), "switch case compares sentinel %s by identity: use if/else with errors.Is (or annotate //migsim:sentinel <reason>)", name)
+						}
+					}
+				}
+
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkErrorf flags fmt.Errorf calls that pass an Err* sentinel to a verb
+// other than %w.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+		return
+	}
+	format, argsFrom, ok := lintutil.FormatArg(pass.TypesInfo, call)
+	if !ok {
+		return
+	}
+	for _, fv := range lintutil.ParseFormat(format) {
+		if fv.Verb == 'w' || fv.Verb == '*' {
+			continue
+		}
+		argIdx := argsFrom + fv.ArgIdx
+		if argIdx >= len(call.Args) {
+			continue
+		}
+		name := sentinelName(pass, call.Args[argIdx])
+		if name == "" {
+			continue
+		}
+		if lintutil.Suppressed(pass, call.Pos(), "sentinel") {
+			continue
+		}
+		pass.Reportf(call.Args[argIdx].Pos(), "fmt.Errorf embeds sentinel %s with %%%c: wrap with %%w so errors.Is still matches (or annotate //migsim:sentinel <reason>)",
+			name, fv.Verb)
+	}
+}
+
+// sentinelName resolves e to a package-level error variable named Err* and
+// returns its name, or "".
+func sentinelName(pass *analysis.Pass, e ast.Expr) string {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || !strings.HasPrefix(v.Name(), "Err") {
+		return ""
+	}
+	// Package-level: parent scope is the package scope.
+	if v.Parent() != v.Pkg().Scope() {
+		return ""
+	}
+	if !errorType(v.Type()) {
+		return ""
+	}
+	return v.Name()
+}
+
+func errorTyped(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Type != nil && errorType(tv.Type)
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func errorType(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}

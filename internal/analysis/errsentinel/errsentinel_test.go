@@ -1,0 +1,12 @@
+package errsentinel_test
+
+import (
+	"testing"
+
+	"github.com/hybridmig/hybridmig/internal/analysis/atest"
+	"github.com/hybridmig/hybridmig/internal/analysis/errsentinel"
+)
+
+func TestErrSentinel(t *testing.T) {
+	atest.Run(t, "testdata", errsentinel.Analyzer, "a")
+}

@@ -1,0 +1,41 @@
+// Package a exercises errsentinel; the analyzer is repo-wide, so the
+// fixture needs no special import path.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrStopped = errors.New("stopped")
+var ErrWrapped = fmt.Errorf("context: %w", ErrStopped) // clean: %w keeps the chain
+
+func classify(err error) int {
+	if err == ErrStopped { // want `direct == comparison against sentinel ErrStopped`
+		return 1
+	}
+	if err != ErrStopped { // want `direct != comparison against sentinel ErrStopped`
+		return 2
+	}
+	if err != nil && errors.Is(err, ErrStopped) { // clean
+		return 3
+	}
+	switch err {
+	case ErrStopped: // want `switch case compares sentinel ErrStopped by identity`
+		return 4
+	case nil:
+		return 5
+	}
+	//migsim:sentinel proving no layer wrapped it: identity is the point here
+	if err == ErrStopped {
+		return 6
+	}
+	return 0
+}
+
+func wrap(err error) error {
+	if errors.Is(err, ErrStopped) {
+		return fmt.Errorf("giving up: %v", ErrStopped) // want `embeds sentinel ErrStopped with %v`
+	}
+	return fmt.Errorf("giving up: %w", err) // clean: wrapping the live error
+}

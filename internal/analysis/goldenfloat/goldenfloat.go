@@ -1,0 +1,103 @@
+// Package goldenfloat defines an Analyzer that enforces the hex-float
+// contract in golden- and seed-capture code.
+//
+// The golden suites diff capture strings byte-for-byte, so every measured
+// float64 must be rendered with %x (full mantissa, no decimal rounding).
+// A %v/%f/%g/%e slipped into a capture line truncates the mantissa and
+// turns a real determinism regression into an invisible one. The analyzer
+// scopes itself to capture code paths — functions whose name contains
+// "capture" or "golden" (case-insensitive), or files named golden*.go —
+// inside the deterministic packages.
+package goldenfloat
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"github.com/hybridmig/hybridmig/internal/analysis"
+	"github.com/hybridmig/hybridmig/internal/analysis/lintutil"
+)
+
+const doc = `require %x for floats in golden- and seed-capture code
+
+Within deterministic packages, any fmt formatting call in a capture code
+path (function name containing "capture"/"golden", or a golden*.go file)
+that renders a float32/float64 operand with a decimal verb (%v %f %g %e and
+their upper-case forms) is reported: the hex-float contract requires %x so
+goldens pin the full mantissa. Escape hatch: //migsim:decimal <reason>.`
+
+var Analyzer = &analysis.Analyzer{
+	Name: "goldenfloat",
+	Doc:  doc,
+	Run:  run,
+}
+
+var decimalVerbs = map[rune]bool{
+	'v': true, 'f': true, 'F': true, 'g': true, 'G': true, 'e': true, 'E': true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lintutil.Deterministic(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		goldenFile := strings.HasPrefix(filepath.Base(pass.Fset.Position(file.Pos()).Filename), "golden")
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			format, argsFrom, ok := lintutil.FormatArg(pass.TypesInfo, call)
+			if !ok {
+				return true
+			}
+			if !goldenFile && !inCaptureFunc(pass, file, call) {
+				return true
+			}
+			for _, fv := range lintutil.ParseFormat(format) {
+				if !decimalVerbs[fv.Verb] {
+					continue
+				}
+				argIdx := argsFrom + fv.ArgIdx
+				if argIdx >= len(call.Args) {
+					continue
+				}
+				arg := call.Args[argIdx]
+				if !floatTyped(pass, arg) {
+					continue
+				}
+				if lintutil.Suppressed(pass, call.Pos(), "decimal") {
+					continue
+				}
+				pass.Reportf(arg.Pos(), "capture path formats float %s with %%%c: the golden contract requires %%x (full mantissa), or annotate //migsim:decimal <reason>",
+					types.ExprString(arg), fv.Verb)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// inCaptureFunc reports whether the call sits inside a function whose name
+// marks it as part of the capture path. The naming convention is itself
+// part of the contract (DESIGN.md §18): capture helpers are named so the
+// analyzer can find them.
+func inCaptureFunc(pass *analysis.Pass, file *ast.File, n ast.Node) bool {
+	decl, _, found := lintutil.FuncFor(file, n.Pos())
+	if !found || decl == nil {
+		return false
+	}
+	name := strings.ToLower(decl.Name.Name)
+	return strings.Contains(name, "capture") || strings.Contains(name, "golden")
+}
+
+func floatTyped(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

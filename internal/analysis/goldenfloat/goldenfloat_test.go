@@ -1,0 +1,12 @@
+package goldenfloat_test
+
+import (
+	"testing"
+
+	"github.com/hybridmig/hybridmig/internal/analysis/atest"
+	"github.com/hybridmig/hybridmig/internal/analysis/goldenfloat"
+)
+
+func TestGoldenFloat(t *testing.T) {
+	atest.Run(t, "testdata", goldenfloat.Analyzer, "internal/metrics", "cmd/tool")
+}

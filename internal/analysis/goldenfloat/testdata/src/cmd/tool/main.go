@@ -1,0 +1,9 @@
+// Package main is outside the deterministic set: even a function named
+// capture may print decimal floats here.
+package main
+
+import "fmt"
+
+func capture(v float64) string { return fmt.Sprintf("%v", v) }
+
+func main() { fmt.Println(capture(1.5)) }

@@ -1,0 +1,34 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+func mean(vals []float64) float64 {
+	s := 0.0
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// capture is a capture-path function by naming convention: floats must be
+// rendered with %x.
+func capture(vals []float64, n int, name string) string {
+	var b strings.Builder
+	for _, v := range vals {
+		fmt.Fprintf(&b, "v=%v\n", v) // want `capture path formats float v with %v`
+	}
+	fmt.Fprintf(&b, "first=%g\n", vals[0]) // want `formats float vals\[0\] with %g`
+	fmt.Fprintf(&b, "n=%d name=%s\n", n, name)
+	fmt.Fprintf(&b, "hex=%x\n", vals[0])
+	//migsim:decimal human-facing summary line, never diffed by a golden
+	fmt.Fprintf(&b, "mean=%.3f\n", mean(vals))
+	return b.String()
+}
+
+// report is not a capture path: decimal rendering for humans is fine here.
+func report(v float64) string {
+	return fmt.Sprintf("%.1f%%", v*100)
+}

@@ -1,0 +1,9 @@
+package metrics
+
+import "fmt"
+
+// A golden*.go file is a capture path wholesale, whatever its functions
+// are called.
+func renderRow(mig float64, vms int) string {
+	return fmt.Sprintf("vms=%d mig=%e", vms, mig) // want `formats float mig with %e`
+}

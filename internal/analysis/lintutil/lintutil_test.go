@@ -1,0 +1,65 @@
+package lintutil
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseFormat(t *testing.T) {
+	cases := []struct {
+		format string
+		want   []FormatVerb
+	}{
+		{"plain", nil},
+		{"%d", []FormatVerb{{'d', 0}}},
+		{"a=%x b=%v", []FormatVerb{{'x', 0}, {'v', 1}}},
+		{"100%% done %s", []FormatVerb{{'s', 0}}},
+		{"%.3f", []FormatVerb{{'f', 0}}},
+		{"%-10s|%+d", []FormatVerb{{'s', 0}, {'d', 1}}},
+		{"%*.*f", []FormatVerb{{'*', 0}, {'*', 1}, {'f', 2}}},
+		{"%[2]v %[1]v", []FormatVerb{{'v', 1}, {'v', 0}}},
+		{"%w: detail %d", []FormatVerb{{'w', 0}, {'d', 1}}},
+	}
+	for _, c := range cases {
+		got := ParseFormat(c.format)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseFormat(%q) = %v, want %v", c.format, got, c.want)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"github.com/hybridmig/hybridmig/internal/sim", true},
+		{"github.com/hybridmig/hybridmig/internal/strategy/adaptive", true},
+		{"github.com/hybridmig/hybridmig/internal/fabric", false},
+		{"github.com/hybridmig/hybridmig/cmd/migsim", false},
+		{"internal/lease", true},
+		{"example.com/other/internal/trace", true},
+		{"strategy", false},
+	}
+	for _, c := range cases {
+		if got := Deterministic(c.path); got != c.want {
+			t.Errorf("Deterministic(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func TestParseAnnotation(t *testing.T) {
+	if ann, ok := parseAnnotation("//migsim:unordered keys sorted below"); !ok ||
+		ann.Directive != "unordered" || ann.Reason != "keys sorted below" {
+		t.Errorf("parseAnnotation: got %+v ok=%v", ann, ok)
+	}
+	if ann, ok := parseAnnotation("//migsim:wallclock"); !ok || ann.Reason != "" {
+		t.Errorf("bare annotation: got %+v ok=%v", ann, ok)
+	}
+	if _, ok := parseAnnotation("// migsim:unordered spaced out"); ok {
+		t.Error("a spaced comment is not a directive")
+	}
+	if _, ok := parseAnnotation("//migsim:"); ok {
+		t.Error("empty directive should not parse")
+	}
+}

@@ -1,0 +1,84 @@
+// Package registerinit defines an Analyzer that pins strategy registration
+// to init() functions in packages under internal/strategy.
+//
+// The registry's completeness and its deterministic Names() order both rest
+// on every Register call running during package initialization of the
+// strategy tree: a Register from main, from a scenario, or from some other
+// package makes the visible strategy set depend on call order and import
+// graphs at run time. _test.go files are exempt — tests legitimately
+// register throwaway fakes.
+package registerinit
+
+import (
+	"go/ast"
+	"strings"
+
+	"github.com/hybridmig/hybridmig/internal/analysis"
+	"github.com/hybridmig/hybridmig/internal/analysis/lintutil"
+)
+
+const doc = `restrict strategy.Register to init() under internal/strategy
+
+Calls to the strategy registry's Register function (and any future
+*.Register of a package named registry) must occur lexically inside an
+init() function of a package under internal/strategy, so the registry is
+sealed before main starts and Names() order is import-order deterministic.
+Tests are exempt. Escape hatch: //migsim:register <reason>.`
+
+var Analyzer = &analysis.Analyzer{
+	Name: "registerinit",
+	Doc:  doc,
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Name() != "Register" || fn.Pkg() == nil {
+				return true
+			}
+			if !registryPackage(fn.Pkg().Path()) {
+				return true
+			}
+			inStrategy := registryPackage(pass.Pkg.Path())
+			decl, _, found := lintutil.FuncFor(file, call.Pos())
+			inInit := found && decl != nil && decl.Name.Name == "init" && decl.Recv == nil
+			if inStrategy && inInit {
+				return true
+			}
+			if lintutil.Suppressed(pass, call.Pos(), "register") {
+				return true
+			}
+			switch {
+			case !inStrategy:
+				pass.Reportf(call.Pos(), "strategy.Register called from package %s: strategies register only from init() in packages under internal/strategy (or annotate //migsim:register <reason>)",
+					pass.Pkg.Path())
+			default:
+				pass.Reportf(call.Pos(), "strategy.Register called outside init(): registration must complete during package initialization (or annotate //migsim:register <reason>)")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// registryPackage reports whether path is internal/strategy or one of its
+// subpackages (the segment-wise rule used by lintutil.Deterministic,
+// narrowed to the strategy subtree).
+func registryPackage(path string) bool {
+	segs := strings.Split(path, "/")
+	for i, s := range segs {
+		if s == "internal" && i+1 < len(segs) && segs[i+1] == "strategy" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package registerinit_test
+
+import (
+	"testing"
+
+	"github.com/hybridmig/hybridmig/internal/analysis/atest"
+	"github.com/hybridmig/hybridmig/internal/analysis/registerinit"
+)
+
+func TestRegisterInit(t *testing.T) {
+	atest.Run(t, "testdata", registerinit.Analyzer,
+		"github.com/hybridmig/hybridmig/internal/strategy",
+		"github.com/hybridmig/hybridmig/internal/strategy/adaptive",
+		"cmd/reg",
+	)
+}

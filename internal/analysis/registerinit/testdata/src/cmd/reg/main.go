@@ -1,0 +1,16 @@
+package main
+
+import "github.com/hybridmig/hybridmig/internal/strategy"
+
+func main() {
+	strategy.Register(strategy.Definition{Name: "rogue"}) // want `strategy.Register called from package cmd/reg`
+
+	//migsim:register scenario-local shim registered before any Run, see DESIGN.md §18
+	strategy.Register(strategy.Definition{Name: "shimmed"})
+}
+
+func init() {
+	// Even init() is not enough outside the strategy subtree: the registry
+	// order would depend on who imports whom.
+	strategy.Register(strategy.Definition{Name: "outsider"}) // want `called from package cmd/reg`
+}

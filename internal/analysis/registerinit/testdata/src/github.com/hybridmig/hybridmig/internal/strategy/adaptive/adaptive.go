@@ -1,0 +1,9 @@
+// Package adaptive shows the allowed subpackage registration: init() in a
+// package *under* internal/strategy.
+package adaptive
+
+import "github.com/hybridmig/hybridmig/internal/strategy"
+
+func init() {
+	strategy.Register(strategy.Definition{Name: "adaptive"}) // clean
+}

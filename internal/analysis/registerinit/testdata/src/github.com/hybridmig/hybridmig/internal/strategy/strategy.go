@@ -1,0 +1,18 @@
+// Package strategy is a stub of the real registry with the same import
+// path, so fixtures exercise exactly the resolution the analyzer performs.
+package strategy
+
+type Definition struct{ Name string }
+
+var registry []Definition
+
+func Register(d Definition) { registry = append(registry, d) }
+
+func init() {
+	Register(Definition{Name: "managed"}) // clean: init() inside internal/strategy
+}
+
+// AddLater is the in-package violation: right package, wrong time.
+func AddLater(d Definition) {
+	Register(d) // want `strategy.Register called outside init\(\)`
+}

@@ -1,0 +1,94 @@
+// Package simclock defines an Analyzer that keeps wall-clock time and
+// ambient randomness out of the simulation packages.
+//
+// Everything under the sim clock must get time from sim.Engine.Now and
+// randomness from an injected, seeded *rand.Rand; reaching for time.Now or
+// the global math/rand functions makes a run irreproducible and silently
+// breaks the golden suites. Command-line drivers (cmd/...) measure real
+// wall time legitimately and are out of scope, as are _test.go files.
+package simclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/hybridmig/hybridmig/internal/analysis"
+	"github.com/hybridmig/hybridmig/internal/analysis/lintutil"
+)
+
+const doc = `forbid wall-clock time and global math/rand in simulation code
+
+In the deterministic packages, non-test code must not call time.Now, Since,
+Until, Sleep, After, Tick, AfterFunc, NewTimer or NewTicker — simulated time
+comes from the sim clock — and must not call package-level math/rand or
+math/rand/v2 functions (an unseeded process-global source): randomness is
+injected as a seeded *rand.Rand. Constructors (rand.New, rand.NewSource,
+rand.NewPCG, rand.NewZipf) are allowed; they are how the seeded source is
+built. Escape hatch: //migsim:wallclock <reason>.`
+
+var Analyzer = &analysis.Analyzer{
+	Name: "simclock",
+	Doc:  doc,
+	Run:  run,
+}
+
+// forbiddenTime is the wall-clock surface of package time. Pure arithmetic
+// (time.Duration, time.Unix, ParseDuration...) stays legal.
+var forbiddenTime = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lintutil.Deterministic(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if forbiddenTime[fn.Name()] {
+					if !lintutil.Suppressed(pass, call.Pos(), "wallclock") {
+						pass.Reportf(call.Pos(), "wall-clock time.%s in deterministic package %s: use the sim clock (or annotate //migsim:wallclock <reason>)",
+							fn.Name(), pass.Pkg.Name())
+					}
+				}
+			case "math/rand", "math/rand/v2":
+				// Package-level functions draw from the shared global
+				// source; only the New* constructors are deterministic
+				// building blocks. Methods on *rand.Rand have a receiver
+				// and are not package-level, so they never match here.
+				if fn.Type().(*types.Signature).Recv() == nil && !isConstructor(fn.Name()) {
+					if !lintutil.Suppressed(pass, call.Pos(), "wallclock") {
+						pass.Reportf(call.Pos(), "global %s.%s in deterministic package %s: draw from an injected seeded *rand.Rand (or annotate //migsim:wallclock <reason>)",
+							fn.Pkg().Name(), fn.Name(), pass.Pkg.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isConstructor(name string) bool {
+	return len(name) >= 3 && name[:3] == "New"
+}

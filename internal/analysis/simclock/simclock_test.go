@@ -1,0 +1,12 @@
+package simclock_test
+
+import (
+	"testing"
+
+	"github.com/hybridmig/hybridmig/internal/analysis/atest"
+	"github.com/hybridmig/hybridmig/internal/analysis/simclock"
+)
+
+func TestSimClock(t *testing.T) {
+	atest.Run(t, "testdata", simclock.Analyzer, "internal/core", "cmd/tool")
+}

@@ -1,0 +1,13 @@
+// Package main is a CLI driver: measuring real wall time here is
+// legitimate and out of the analyzer's scope.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println(time.Since(start).Seconds())
+}

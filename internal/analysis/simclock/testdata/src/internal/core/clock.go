@@ -1,0 +1,30 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// flagged: wall-clock reads and the process-global rand source.
+func flagged() time.Duration {
+	t0 := time.Now()             // want `wall-clock time.Now in deterministic package core`
+	time.Sleep(time.Millisecond) // want `wall-clock time.Sleep`
+	_ = rand.Intn(4)             // want `global rand.Intn in deterministic package core`
+	_ = rand.Float64()           // want `global rand.Float64`
+	return time.Since(t0) // want `wall-clock time.Since`
+}
+
+// clean: duration arithmetic, injected sources, and the seeded
+// constructors are all deterministic building blocks.
+func clean(r *rand.Rand) float64 {
+	r2 := rand.New(rand.NewSource(42))
+	d := 3 * time.Second
+	_ = d.Seconds()
+	return r.Float64() + r2.Float64()
+}
+
+// suppressed: a justified annotation keeps a deliberate wall-clock read.
+func suppressed() time.Time {
+	//migsim:wallclock profiling hook, measures host time outside the sim clock
+	return time.Now()
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -262,7 +263,7 @@ func TestStopFromProcess(t *testing.T) {
 		reached = true
 	})
 	err := e.Run()
-	if err != ErrStopped {
+	if !errors.Is(err, ErrStopped) {
 		t.Fatalf("err = %v, want ErrStopped", err)
 	}
 	if reached {
