@@ -35,9 +35,12 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	hybridmig "github.com/hybridmig/hybridmig"
 )
@@ -72,12 +75,16 @@ func main() {
 		bgRate: *bgRate, bgStop: *bgStop,
 	}
 	if *partition != "" {
-		n, err := fmt.Sscanf(*partition, "%d:%g:%g", &df.partNode, &df.partAt, &df.partDur)
-		if err != nil || n != 3 {
-			fmt.Fprintf(os.Stderr, "migsim: -partition wants node:start:duration, got %q\n", *partition)
+		node, at, dur, err := parsePartition(*partition)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "migsim: %v\n", err)
 			os.Exit(2)
 		}
-		df.partSet = true
+		df.partNode, df.partAt, df.partDur, df.partSet = node, at, dur, true
+	}
+	if err := df.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "migsim: %v\n", err)
+		os.Exit(2)
 	}
 
 	if *listStrategies {
@@ -134,6 +141,40 @@ func main() {
 		append(common, df.options("vm0", 1, 10)...))
 }
 
+// errFlagSyntax is wrapped by every fault/traffic flag validation failure, so
+// a malformed spec is a named, testable error naming the expected grammar —
+// never a zero value silently altering the run.
+var errFlagSyntax = errors.New("invalid flag value")
+
+func flagErrf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errFlagSyntax, fmt.Sprintf(format, args...))
+}
+
+// parsePartition parses -partition's node:start:duration grammar strictly:
+// exactly three ':'-separated fields, node a non-negative integer, start a
+// non-negative time, duration positive. No trailing junk is tolerated (the
+// old Sscanf parser silently accepted "1:8.2:8xyz").
+func parsePartition(s string) (node int, at, dur float64, err error) {
+	const grammar = "-partition wants node:start:duration (e.g. 1:8.2:8)"
+	fields := strings.Split(s, ":")
+	if len(fields) != 3 {
+		return 0, 0, 0, flagErrf("%s, got %q", grammar, s)
+	}
+	node, err = strconv.Atoi(fields[0])
+	if err != nil || node < 0 {
+		return 0, 0, 0, flagErrf("%s; node must be a non-negative integer, got %q", grammar, fields[0])
+	}
+	at, err = strconv.ParseFloat(fields[1], 64)
+	if err != nil || at < 0 {
+		return 0, 0, 0, flagErrf("%s; start must be a non-negative time in seconds, got %q", grammar, fields[1])
+	}
+	dur, err = strconv.ParseFloat(fields[2], 64)
+	if err != nil || dur <= 0 {
+		return 0, 0, 0, flagErrf("%s; duration must be a positive span in seconds, got %q", grammar, fields[2])
+	}
+	return node, at, dur, nil
+}
+
 // degradedFlags bundles the fault/traffic/retry flags.
 type degradedFlags struct {
 	crashAt, retryBackoff                float64
@@ -143,6 +184,38 @@ type degradedFlags struct {
 	partAt, partDur                      float64
 	partSet                              bool
 	bgRate, bgStop                       float64
+}
+
+// validate rejects malformed fault/traffic flag combinations with a named
+// error before they can silently alter the run.
+func (d degradedFlags) validate() error {
+	if d.crashAt < 0 {
+		return flagErrf("-crash-at must be >= 0 seconds (0 disables), got %g", d.crashAt)
+	}
+	if d.retries < 0 {
+		return flagErrf("-retries must be >= 0 attempts (0 means a single attempt), got %d", d.retries)
+	}
+	if d.retryBackoff < 0 {
+		return flagErrf("-retry-backoff must be >= 0 seconds, got %g", d.retryBackoff)
+	}
+	if d.degradeAt < 0 {
+		return flagErrf("-degrade-at must be >= 0 seconds (0 disables), got %g", d.degradeAt)
+	}
+	if d.degradeAt > 0 {
+		if d.degradeDur <= 0 {
+			return flagErrf("-degrade-dur must be a positive window in seconds, got %g", d.degradeDur)
+		}
+		if d.degradeFactor < 0 || d.degradeFactor > 1 {
+			return flagErrf("-degrade-factor must be a fraction in [0,1], got %g", d.degradeFactor)
+		}
+	}
+	if d.bgRate < 0 {
+		return flagErrf("-bg-rate must be >= 0 MB/s (0 disables), got %g", d.bgRate)
+	}
+	if d.bgRate > 0 && d.bgStop <= 0 {
+		return flagErrf("-bg-stop must be a positive time in seconds when -bg-rate is set, got %g", d.bgStop)
+	}
+	return nil
 }
 
 // options translates the flags into scenario options targeting the first

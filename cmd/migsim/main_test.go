@@ -1,0 +1,99 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestParsePartition pins the strict node:start:duration grammar: every
+// malformed spec is a named error carrying the expected grammar, never a
+// zero value that would silently alter the run.
+func TestParsePartition(t *testing.T) {
+	bad := []struct {
+		name string
+		in   string
+	}{
+		{"too few fields", "1:8.2"},
+		{"too many fields", "1:8.2:8:9"},
+		{"empty", ""},
+		{"non-integer node", "x:1:2"},
+		{"float node", "1.5:1:2"},
+		{"negative node", "-1:1:2"},
+		{"non-numeric start", "1:later:2"},
+		{"negative start", "1:-2:3"},
+		{"zero duration", "1:2:0"},
+		{"negative duration", "1:2:-3"},
+		{"trailing junk on duration", "1:2:3junk"},
+		{"trailing junk on node", "1junk:2:3"},
+	}
+	for _, c := range bad {
+		_, _, _, err := parsePartition(c.in)
+		if err == nil {
+			t.Errorf("%s (%q): accepted", c.name, c.in)
+			continue
+		}
+		if !errors.Is(err, errFlagSyntax) {
+			t.Errorf("%s: error %v does not wrap errFlagSyntax", c.name, err)
+		}
+		if !strings.Contains(err.Error(), "node:start:duration") {
+			t.Errorf("%s: error %q does not state the grammar", c.name, err)
+		}
+	}
+
+	node, at, dur, err := parsePartition("1:8.2:8")
+	if err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if node != 1 || at != 8.2 || dur != 8 {
+		t.Fatalf("parsed %d:%g:%g, want 1:8.2:8", node, at, dur)
+	}
+}
+
+// TestDegradedFlagsValidate covers each fault/traffic flag's error path.
+func TestDegradedFlagsValidate(t *testing.T) {
+	// ok returns a baseline that passes validation; each case breaks one flag.
+	ok := func() degradedFlags {
+		return degradedFlags{retries: 3, retryBackoff: 1, degradeDur: 10, degradeFactor: 0.25, bgStop: 60}
+	}
+	cases := []struct {
+		name string
+		df   degradedFlags
+		want string // substring naming the offending flag
+	}{
+		{"negative crash-at", func() degradedFlags { d := ok(); d.crashAt = -1; return d }(), "-crash-at"},
+		{"negative retries", func() degradedFlags { d := ok(); d.retries = -2; return d }(), "-retries"},
+		{"negative retry-backoff", func() degradedFlags { d := ok(); d.retryBackoff = -1; return d }(), "-retry-backoff"},
+		{"negative degrade-at", func() degradedFlags { d := ok(); d.degradeAt = -3; return d }(), "-degrade-at"},
+		{"zero degrade-dur", func() degradedFlags { d := ok(); d.degradeAt = 5; d.degradeDur = 0; return d }(), "-degrade-dur"},
+		{"negative degrade-dur", func() degradedFlags { d := ok(); d.degradeAt = 5; d.degradeDur = -1; return d }(), "-degrade-dur"},
+		{"factor above 1", func() degradedFlags { d := ok(); d.degradeAt = 5; d.degradeFactor = 1.5; return d }(), "-degrade-factor"},
+		{"negative factor", func() degradedFlags { d := ok(); d.degradeAt = 5; d.degradeFactor = -0.1; return d }(), "-degrade-factor"},
+		{"negative bg-rate", func() degradedFlags { d := ok(); d.bgRate = -5; return d }(), "-bg-rate"},
+		{"bg-rate without window", func() degradedFlags { d := ok(); d.bgRate = 10; d.bgStop = 0; return d }(), "-bg-stop"},
+	}
+	for _, c := range cases {
+		err := c.df.validate()
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !errors.Is(err, errFlagSyntax) {
+			t.Errorf("%s: error %v does not wrap errFlagSyntax", c.name, err)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not name %s", c.name, err, c.want)
+		}
+	}
+
+	if err := ok().validate(); err != nil {
+		t.Fatalf("baseline flags rejected: %v", err)
+	}
+	// The degrade/traffic knobs are ignored while disabled: garbage in the
+	// dependent fields must not fail validation when the feature is off.
+	d := ok()
+	d.degradeDur, d.degradeFactor, d.bgStop = 0, 9, 0
+	if err := d.validate(); err != nil {
+		t.Fatalf("disabled features validated their dependent flags: %v", err)
+	}
+}

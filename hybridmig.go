@@ -130,6 +130,11 @@ func SetupFor(s Scale, nodes int) Setup { return scenario.NewSetup(s, nodes) }
 // still has pending work at the horizon; detect it with errors.As.
 type DeadlineError = sim.DeadlineError
 
+// CanceledError is returned by Scenario.RunContext when its context was
+// canceled before the simulation drained; detect it with errors.As. Unwrap
+// exposes the context's cancellation cause.
+type CanceledError = scenario.CanceledError
+
 // ErrInvalidScenario is wrapped by every scenario validation failure;
 // detect it with errors.Is.
 var ErrInvalidScenario = scenario.ErrInvalidScenario

@@ -1,11 +1,26 @@
 package metrics
 
-import "encoding/json"
+import (
+	"encoding/json"
+	"math"
+)
 
 // JSON shapes for the campaign records: stable snake_case keys plus the
 // derived aggregates (makespan, per-job wait/duration) that consumers of the
 // text tables read off the rendered output. Marshal-only — the derived
 // fields make unmarshal lossy, and nothing in the repo reads campaigns back.
+
+// finite clamps NaN and ±Inf to 0. encoding/json rejects non-finite floats
+// (json.UnsupportedValueError), so a degenerate campaign — zero jobs, a
+// zero-duration window, an aborted run with garbage timestamps — would turn
+// the whole marshal into an error. For these derived aggregates 0 is the
+// honest "nothing measurable" value and keeps the record serializable.
+func finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
 
 // MarshalJSON renders the job record with its derived wait and duration.
 func (j JobStat) MarshalJSON() ([]byte, error) {
@@ -23,15 +38,15 @@ func (j JobStat) MarshalJSON() ([]byte, error) {
 		Fenced      int     `json:"fenced,omitempty"`
 	}{
 		Name:        j.Name,
-		QueuedS:     j.Queued,
-		StartedS:    j.Started,
-		FinishedS:   j.Finished,
-		WaitS:       j.Wait(),
-		DurationS:   j.Duration(),
-		DowntimeMS:  j.Downtime * 1000,
+		QueuedS:     finite(j.Queued),
+		StartedS:    finite(j.Started),
+		FinishedS:   finite(j.Finished),
+		WaitS:       finite(j.Wait()),
+		DurationS:   finite(j.Duration()),
+		DowntimeMS:  finite(j.Downtime * 1000),
 		Attempts:    j.Attempts,
 		Exhausted:   j.Exhausted,
-		WastedBytes: j.WastedBytes,
+		WastedBytes: finite(j.WastedBytes),
 		Fenced:      j.Fenced,
 	})
 }
@@ -41,7 +56,7 @@ func (t TagBytes) MarshalJSON() ([]byte, error) {
 	return json.Marshal(struct {
 		Tag   string  `json:"tag"`
 		Bytes float64 `json:"bytes"`
-	}{Tag: t.Tag, Bytes: t.Bytes})
+	}{Tag: t.Tag, Bytes: finite(t.Bytes)})
 }
 
 // MarshalJSON renders the campaign with its derived aggregates.
@@ -67,17 +82,17 @@ func (c *Campaign) MarshalJSON() ([]byte, error) {
 	}{
 		Policy:            c.Policy,
 		Jobs:              c.Jobs,
-		StartS:            c.Start,
-		EndS:              c.End,
-		MakespanS:         c.Makespan(),
-		AvgMigrationS:     c.AvgMigrationTime(),
-		TotalDowntimeMS:   c.TotalDowntime * 1000,
+		StartS:            finite(c.Start),
+		EndS:              finite(c.End),
+		MakespanS:         finite(c.Makespan()),
+		AvgMigrationS:     finite(c.AvgMigrationTime()),
+		TotalDowntimeMS:   finite(c.TotalDowntime * 1000),
 		PeakConcurrent:    c.PeakConcurrent,
 		PeakFlows:         c.PeakFlows,
-		TransferredBytes:  c.TransferredBytes,
+		TransferredBytes:  finite(c.TransferredBytes),
 		Retries:           c.Retries,
 		ExhaustedJobs:     c.ExhaustedJobs,
-		WastedBytes:       c.WastedBytes,
+		WastedBytes:       finite(c.WastedBytes),
 		FencedMigrations:  c.FencedMigrations,
 		SplitBrainWindows: c.SplitBrainWindows,
 		Traffic:           c.Traffic,

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 )
@@ -59,6 +60,81 @@ func TestCampaignJSON(t *testing.T) {
 	for _, key := range []string{"policy", "jobs", "makespan_s", "peak_concurrent", "transferred_bytes"} {
 		if !strings.Contains(string(raw), `"`+key+`"`) {
 			t.Errorf("key %q missing from %s", key, raw)
+		}
+	}
+}
+
+// TestCampaignJSONDegenerate pins the serving contract: every degenerate
+// campaign — empty, zero-job policies, zero-duration windows, NaN/Inf
+// timestamps from an aborted run — must still marshal (encoding/json rejects
+// non-finite floats, which would turn an edge-case run into a server error),
+// with non-finite derived aggregates clamped to 0.
+func TestCampaignJSONDegenerate(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name string
+		c    *Campaign
+	}{
+		{"zero value", &Campaign{}},
+		{"empty with policy", &Campaign{Policy: "serial"}},
+		{"zero-duration window", &Campaign{Policy: "all-at-once", Jobs: 1, Start: 5, End: 5,
+			JobStats: []JobStat{{Name: "vm0", Queued: 5, Started: 5, Finished: 5}}}},
+		{"NaN bounds", &Campaign{Policy: "serial", Start: nan, End: nan}},
+		{"Inf makespan", &Campaign{Policy: "serial", Start: 0, End: inf}},
+		{"NaN job timestamps", &Campaign{Policy: "serial", Jobs: 1,
+			JobStats: []JobStat{{Name: "vm0", Queued: nan, Started: inf, Finished: math.Inf(-1), Downtime: nan}}}},
+		{"Inf wasted bytes", &Campaign{Policy: "serial", WastedBytes: inf,
+			JobStats: []JobStat{{Name: "vm0", WastedBytes: inf}}}},
+		{"non-finite traffic", &Campaign{Policy: "serial",
+			Traffic: []TagBytes{{Tag: "memory", Bytes: nan}, {Tag: "disk", Bytes: inf}}}},
+	}
+	for _, tc := range cases {
+		raw, err := json.Marshal(tc.c)
+		if err != nil {
+			t.Errorf("%s: marshal failed: %v", tc.name, err)
+			continue
+		}
+		var got map[string]any
+		if err := json.Unmarshal(raw, &got); err != nil {
+			t.Errorf("%s: output not valid JSON: %v", tc.name, err)
+			continue
+		}
+		// Every float the decoder handed back must be finite.
+		var walk func(prefix string, v any)
+		walk = func(prefix string, v any) {
+			switch x := v.(type) {
+			case float64:
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					t.Errorf("%s: %s is non-finite: %v", tc.name, prefix, x)
+				}
+			case map[string]any:
+				for k, vv := range x {
+					walk(prefix+"."+k, vv)
+				}
+			case []any:
+				for _, vv := range x {
+					walk(prefix, vv)
+				}
+			}
+		}
+		walk("campaign", got)
+	}
+}
+
+// TestJobStatJSONDegenerate covers the job record marshaler in isolation.
+func TestJobStatJSONDegenerate(t *testing.T) {
+	nan := math.NaN()
+	raw, err := json.Marshal(JobStat{Name: "vm0", Queued: nan, Started: nan, Finished: nan, Downtime: nan, WastedBytes: math.Inf(1)})
+	if err != nil {
+		t.Fatalf("marshal failed: %v", err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("output not valid JSON: %v", err)
+	}
+	for _, key := range []string{"queued_s", "started_s", "finished_s", "wait_s", "duration_s", "downtime_ms"} {
+		if got[key] != 0.0 {
+			t.Errorf("%s = %v, want 0 (clamped)", key, got[key])
 		}
 	}
 }

@@ -276,7 +276,9 @@ func (s *Scenario) subScenario(cfg cluster.Config, plan *partitionPlan, i int, s
 // shard count — what keeps 10,000-VM campaigns at paper fidelity feasible.
 // With coupling instants (fabric-degrade faults) every session must exist at
 // once and a sim.ShardSet aligns them at each capacity step.
-func (s *Scenario) runSharded(cfg cluster.Config, plan *partitionPlan) (*Result, error) {
+// check, when non-nil, is RunContext's cancellation poll; it is installed on
+// every shard engine so a cancel interrupts all shards promptly.
+func (s *Scenario) runSharded(cfg cluster.Config, plan *partitionPlan, check func() bool) (*Result, error) {
 	workers := s.opt.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -292,7 +294,7 @@ func (s *Scenario) runSharded(cfg cluster.Config, plan *partitionPlan) (*Result,
 	if len(plan.couplingTimes) == 0 {
 		errs := make([]error, n)
 		parallelFor(n, workers, func(i int) {
-			results[i], errs[i] = s.runShard(cfg, plan, i, shared)
+			results[i], errs[i] = s.runShard(cfg, plan, i, shared, check)
 		})
 		runErr = mergeShardErrors(errs, s.opt.horizon)
 	} else {
@@ -307,6 +309,9 @@ func (s *Scenario) runSharded(cfg cluster.Config, plan *partitionPlan) (*Result,
 			}
 			sessions[i] = subs[i].build(c2, set2, byName2)
 			engines[i] = sessions[i].tb.Eng
+			if check != nil {
+				engines[i].SetInterrupt(interruptStride, check)
+			}
 			if i > 0 {
 				// Silent replicas of the global fabric schedule: the capacity
 				// steps fire at the same virtual instants on every shard's
@@ -338,13 +343,16 @@ func (s *Scenario) runSharded(cfg cluster.Config, plan *partitionPlan) (*Result,
 
 // runShard runs one component start to finish in isolation (the
 // no-couplings path).
-func (s *Scenario) runShard(cfg cluster.Config, plan *partitionPlan, i int, shared trace.Observer) (*Result, error) {
+func (s *Scenario) runShard(cfg cluster.Config, plan *partitionPlan, i int, shared trace.Observer, check func() bool) (*Result, error) {
 	sub := s.subScenario(cfg, plan, i, shared)
 	c2, set2, byName2, err := sub.resolve()
 	if err != nil {
 		return nil, err
 	}
 	ss := sub.build(c2, set2, byName2)
+	if check != nil {
+		ss.tb.Eng.SetInterrupt(interruptStride, check)
+	}
 	runErr := ss.tb.Eng.Drain(sub.opt.horizon)
 	ss.tb.Eng.Shutdown()
 	return sub.collect(ss.tb, ss.insts, ss.runners, ss.cm1, ss.campaigns), runErr

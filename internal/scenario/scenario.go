@@ -20,6 +20,7 @@
 package scenario
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -37,6 +38,23 @@ import (
 
 // ErrInvalidScenario is wrapped by every scenario validation failure.
 var ErrInvalidScenario = errors.New("invalid scenario")
+
+// CanceledError is returned by RunContext when its context was canceled (or
+// its deadline exceeded) before the simulation drained. The partial Result
+// accompanying it reflects the state at the interruption instant. Detect it
+// with errors.As; Unwrap exposes the context's cancellation cause, so
+// errors.Is(err, context.Canceled) works through the wrapper too.
+type CanceledError struct {
+	Clock float64 // virtual time reached when the run stopped
+	Cause error   // the context's cancellation cause
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("scenario: run canceled at t=%g s: %v", e.Clock, e.Cause)
+}
+
+// Unwrap exposes the cancellation cause.
+func (e *CanceledError) Unwrap() error { return e.Cause }
 
 // invalidf builds a validation error wrapping ErrInvalidScenario.
 func invalidf(format string, args ...any) error {
@@ -423,6 +441,13 @@ func (s *Scenario) resolve() (cluster.Config, Setup, map[string]int, error) {
 			return zero, Setup{}, nil, invalidf("VM %q uses unregistered strategy %q (registered: %s)",
 				v.Name, v.Approach, strategy.Registered())
 		}
+		switch v.Workload.Kind {
+		case WorkloadNone, WorkloadIOR, WorkloadAsyncWR, WorkloadRewrite:
+		default:
+			// Rejecting unknown kinds here keeps startWorkload panic-free: a
+			// malformed request surfaces as a validation error, never a crash.
+			return zero, Setup{}, nil, invalidf("VM %q has unknown workload kind %d", v.Name, int(v.Workload.Kind))
+		}
 		if s.opt.cm1 != nil && v.Workload.Kind != WorkloadNone {
 			return zero, Setup{}, nil, invalidf("VM %q declares a workload but WithCM1 runs one rank per VM", v.Name)
 		}
@@ -623,25 +648,69 @@ type session struct {
 	campaigns []*metrics.Campaign
 }
 
+// interruptStride is how many events the engine fires between cancellation
+// polls when RunContext installs one. Large enough that the atomic load in
+// ctx.Err is invisible next to event dispatch, small enough that a cancel
+// lands within microseconds of wall time.
+const interruptStride = 1024
+
 // Run assembles the testbed, executes the scenario until the simulation
 // drains, and collects the Result. On a horizon overrun it returns the
 // partial Result together with a *sim.DeadlineError; on a validation failure
 // it returns a nil Result and an error wrapping ErrInvalidScenario.
 func (s *Scenario) Run() (*Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// Validate resolves the scenario without running it, returning the same
+// error Run would. A service front end uses it to reject a malformed spec at
+// submission time instead of burning a worker slot on it.
+func (s *Scenario) Validate() error {
+	_, _, _, err := s.resolve()
+	return err
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is canceled (or
+// its deadline passes) the engine stops between two events, every process
+// goroutine is shut down, and the partial Result is returned together with a
+// *CanceledError. A context that can never be canceled adds no overhead and
+// runs bit-identically to Run.
+func (s *Scenario) RunContext(ctx context.Context) (*Result, error) {
 	cfg, set, byName, err := s.resolve()
 	if err != nil {
 		return nil, err
 	}
+	var check func() bool
+	if ctx.Done() != nil {
+		if ctx.Err() != nil {
+			return nil, &CanceledError{Cause: context.Cause(ctx)}
+		}
+		check = func() bool { return ctx.Err() != nil }
+	}
 	if s.opt.parallel {
 		if plan := s.planPartition(cfg); plan != nil {
-			return s.runSharded(cfg, plan)
+			res, err := s.runSharded(cfg, plan, check)
+			if errors.Is(err, sim.ErrInterrupted) {
+				cerr := &CanceledError{Cause: context.Cause(ctx)}
+				if res != nil {
+					cerr.Clock = res.Clock
+				}
+				return res, cerr
+			}
+			return res, err
 		}
 	}
 	ss := s.build(cfg, set, byName)
+	if check != nil {
+		ss.tb.Eng.SetInterrupt(interruptStride, check)
+	}
 	runErr := ss.tb.Eng.Drain(s.opt.horizon)
 	ss.tb.Eng.Shutdown()
 	res := s.collect(ss.tb, ss.insts, ss.runners, ss.cm1, ss.campaigns)
 	if runErr != nil {
+		if errors.Is(runErr, sim.ErrInterrupted) {
+			return res, &CanceledError{Clock: res.Clock, Cause: context.Cause(ctx)}
+		}
 		return res, runErr
 	}
 	// Silent split brain is a hard simulation error: any write the attachment
@@ -852,7 +921,10 @@ func (s *Scenario) startWorkload(tb *cluster.Testbed, inst *cluster.Instance, r 
 		r.rw = workload.NewRewriter(p)
 		tb.Eng.Go(v.Name+"/rewrite", func(pr *sim.Proc) { r.rw.Run(pr, inst.Guest) })
 	default:
-		panic(fmt.Sprintf("scenario: unhandled workload kind %v", v.Workload.Kind))
+		// Unreachable: resolve rejects unknown kinds before build runs. A new
+		// WorkloadKind must be wired both there and here; leaving it a no-op
+		// (no workload process) keeps a long-lived server crash-free even if
+		// that wiring is missed.
 	}
 }
 

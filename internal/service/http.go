@@ -1,0 +1,217 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"github.com/hybridmig/hybridmig/internal/trace"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /v1/runs             submit a Spec -> 202 {id}, 400 invalid, 429 shed
+//	GET  /v1/runs             list run snapshots
+//	GET  /v1/runs/{id}        one run's snapshot
+//	GET  /v1/runs/{id}/result typed JSON result (409 until terminal)
+//	POST /v1/runs/{id}/cancel request cancellation
+//	GET  /v1/runs/{id}/events NDJSON trace-event stream (replay + follow)
+//	GET  /metrics             Prometheus text exposition
+//	GET  /healthz, /readyz    liveness / readiness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs", s.handleList)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/runs/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /v1/runs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	sp, err := DecodeSpec(req.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	r, err := s.Submit(sp)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, r.snapshot())
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default: // ErrBadSpec or scenario.ErrInvalidScenario
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Runs []Snapshot `json:"runs"`
+	}{Runs: s.List()})
+}
+
+func (s *Server) run(w http.ResponseWriter, req *http.Request) *Run {
+	r, err := s.Get(req.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return nil
+	}
+	return r
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, req *http.Request) {
+	if r := s.run(w, req); r != nil {
+		writeJSON(w, http.StatusOK, r.snapshot())
+	}
+}
+
+// resultBody wraps the typed result with its terminal context. The result
+// field itself is EncodeResult's canonical bytes — the shape the identity
+// tests compare against a library-API run.
+type resultBody struct {
+	ID     string          `json:"id"`
+	State  State           `json:"state"`
+	Reason string          `json:"reason,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, req *http.Request) {
+	r := s.run(w, req)
+	if r == nil {
+		return
+	}
+	res, reason, state := r.Result()
+	if !state.Terminal() {
+		writeError(w, http.StatusConflict, errors.New("service: run not finished"))
+		return
+	}
+	body := resultBody{ID: r.ID, State: state, Reason: reason}
+	if res != nil {
+		raw, err := EncodeResult(res)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		body.Result = raw
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, req *http.Request) {
+	r, err := s.Cancel(req.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, r.snapshot())
+}
+
+// eventJSON is one NDJSON stream record. Regular records carry a trace
+// event; the final record has kind "run-finished" and the terminal state.
+type eventJSON struct {
+	TimeS  float64 `json:"t_s"`
+	Kind   string  `json:"kind"`
+	VM     string  `json:"vm,omitempty"`
+	Detail string  `json:"detail,omitempty"`
+	Round  int     `json:"round,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+	State  State   `json:"state,omitempty"`
+}
+
+func toEventJSON(e trace.Event) eventJSON {
+	return eventJSON{
+		TimeS:  e.Time,
+		Kind:   e.Kind.String(),
+		VM:     e.VM,
+		Detail: e.Detail,
+		Round:  e.Round,
+		Value:  e.Value,
+	}
+}
+
+// handleEvents streams the run's trace events as NDJSON: full replay from
+// event 0, then follow until the run is terminal (or the client goes away).
+// The last record is a "run-finished" marker carrying the terminal state.
+func (s *Server) handleEvents(w http.ResponseWriter, req *http.Request) {
+	r := s.run(w, req)
+	if r == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+
+	from := 0
+	for {
+		evs, closed, changed := r.log.next(from)
+		for _, e := range evs {
+			if err := enc.Encode(toEventJSON(e)); err != nil {
+				return // client gone
+			}
+		}
+		from += len(evs)
+		if len(evs) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if closed {
+			break
+		}
+		if len(evs) > 0 {
+			continue // drain everything available before blocking
+		}
+		select {
+		case <-changed:
+		case <-req.Context().Done():
+			return
+		}
+	}
+	enc.Encode(eventJSON{Kind: "run-finished", State: r.State()})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.write(w, s.QueueDepth())
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, ErrShuttingDown)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}

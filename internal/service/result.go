@@ -1,0 +1,119 @@
+package service
+
+import (
+	"encoding/json"
+	"math"
+
+	"github.com/hybridmig/hybridmig/internal/core"
+	"github.com/hybridmig/hybridmig/internal/metrics"
+	"github.com/hybridmig/hybridmig/internal/scenario"
+)
+
+// ResultJSON is the typed wire shape of a finished run: stable snake_case
+// keys over scenario.Result. The same encoder serves GET /v1/runs/{id}/result
+// and the library-identity tests, so "bit-identical to the library API run"
+// is checkable byte for byte — struct field order is fixed and encoding/json
+// sorts the traffic map's keys.
+type ResultJSON struct {
+	ClockS            float64             `json:"clock_s"`
+	VMs               []VMResultJSON      `json:"vms"`
+	Campaigns         []*metrics.Campaign `json:"campaigns,omitempty"`
+	Traffic           map[string]float64  `json:"traffic_bytes"`
+	SplitBrainWindows int                 `json:"split_brain_windows,omitempty"`
+	SeedCapture       string              `json:"seed_capture,omitempty"`
+}
+
+// VMResultJSON is one VM's outcome on the wire.
+type VMResultJSON struct {
+	Name         string             `json:"name"`
+	Approach     string             `json:"approach"`
+	Node         int                `json:"node"`
+	Migrated     bool               `json:"migrated"`
+	MigrationS   float64            `json:"migration_s"`
+	DowntimeMS   float64            `json:"downtime_ms"`
+	Rounds       int                `json:"rounds"`
+	Converged    bool               `json:"converged"`
+	MemoryBytes  float64            `json:"memory_bytes"`
+	BlockBytes   float64            `json:"block_bytes"`
+	Retries      int                `json:"retries,omitempty"`
+	Aborts       int                `json:"aborts,omitempty"`
+	AbortedBytes float64            `json:"aborted_bytes,omitempty"`
+	Exhausted    bool               `json:"exhausted,omitempty"`
+	Fenced       int                `json:"fenced,omitempty"`
+	Core         core.Stats         `json:"core_stats"`
+	Workload     WorkloadResultJSON `json:"workload_stats"`
+}
+
+// WorkloadResultJSON is the flattened workload report with its derived
+// bandwidths (already divide-by-zero guarded in the library).
+type WorkloadResultJSON struct {
+	Kind       string  `json:"kind"`
+	Iterations int     `json:"iterations"`
+	Counter    int64   `json:"counter,omitempty"`
+	ReadBytes  float64 `json:"read_bytes,omitempty"`
+	ReadBW     float64 `json:"read_bw,omitempty"`
+	WriteBytes float64 `json:"write_bytes,omitempty"`
+	WriteBW    float64 `json:"write_bw,omitempty"`
+	RuntimeS   float64 `json:"runtime_s"`
+}
+
+// jfinite clamps NaN/±Inf to 0 so a degenerate run can always serialize
+// (encoding/json rejects non-finite floats); mirrors internal/metrics.
+func jfinite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// NewResultJSON flattens a library Result into the wire shape.
+func NewResultJSON(res *scenario.Result) *ResultJSON {
+	out := &ResultJSON{
+		ClockS:            jfinite(res.Clock),
+		VMs:               make([]VMResultJSON, len(res.VMs)),
+		Campaigns:         res.Campaigns,
+		Traffic:           make(map[string]float64, len(res.Traffic)),
+		SplitBrainWindows: res.SplitBrainWindows,
+		SeedCapture:       res.SeedCapture,
+	}
+	for k, v := range res.Traffic {
+		out.Traffic[k] = jfinite(v)
+	}
+	for i := range res.VMs {
+		v := &res.VMs[i]
+		out.VMs[i] = VMResultJSON{
+			Name:         v.Name,
+			Approach:     string(v.Approach),
+			Node:         v.Node,
+			Migrated:     v.Migrated,
+			MigrationS:   jfinite(v.MigrationTime),
+			DowntimeMS:   jfinite(v.Downtime * 1000),
+			Rounds:       v.Rounds,
+			Converged:    v.Converged,
+			MemoryBytes:  jfinite(v.MemoryBytes),
+			BlockBytes:   jfinite(v.BlockBytes),
+			Retries:      v.Retries,
+			Aborts:       v.Aborts,
+			AbortedBytes: jfinite(v.AbortedBytes),
+			Exhausted:    v.Exhausted,
+			Fenced:       v.Fenced,
+			Core:         v.Core,
+			Workload: WorkloadResultJSON{
+				Kind:       v.Workload.Kind.String(),
+				Iterations: v.Workload.Iterations,
+				Counter:    v.Workload.Counter,
+				ReadBytes:  jfinite(v.Workload.ReadBytes),
+				ReadBW:     jfinite(v.Workload.ReadBW()),
+				WriteBytes: jfinite(v.Workload.WriteBytes),
+				WriteBW:    jfinite(v.Workload.WriteBW()),
+				RuntimeS:   jfinite(v.Workload.Runtime),
+			},
+		}
+	}
+	return out
+}
+
+// EncodeResult renders the canonical result bytes (no trailing newline).
+func EncodeResult(res *scenario.Result) ([]byte, error) {
+	return json.Marshal(NewResultJSON(res))
+}

@@ -1,0 +1,294 @@
+// Package service is the simulation-as-a-service layer behind cmd/migsimd:
+// it accepts JSON scenario specs over HTTP, validates them with the same
+// internal/scenario layer the library API uses, runs them on a bounded worker
+// pool with FIFO admission and load shedding, and exposes per-run lifecycle
+// endpoints (status, typed result, cancel, live NDJSON trace streaming) plus
+// Prometheus-style text metrics.
+//
+// The package deliberately stays OUT of the determinism contract's package
+// set (internal/analysis/lintutil): it needs the wall clock for the runaway
+// breaker and the run-time histogram. Every simulation it runs is still
+// bit-for-bit deterministic — the service only adds scheduling around
+// scenario.RunContext, never inside it.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/hybridmig/hybridmig/internal/cluster"
+	"github.com/hybridmig/hybridmig/internal/params"
+	"github.com/hybridmig/hybridmig/internal/scenario"
+	"github.com/hybridmig/hybridmig/internal/sched"
+)
+
+// ErrBadSpec is wrapped by every spec decode/translation failure; the HTTP
+// layer maps it (and scenario.ErrInvalidScenario) to 400.
+var ErrBadSpec = errors.New("service: bad scenario spec")
+
+func badSpecf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadSpec, fmt.Sprintf(format, args...))
+}
+
+// Spec is the request schema of POST /v1/runs: a JSON rendering of the
+// declarative scenario API. Everything it can express maps 1:1 onto
+// scenario.New options and builder calls, so validation semantics are exactly
+// the library's. Unknown fields are rejected.
+type Spec struct {
+	// Scale selects the testbed defaults: "small" (default) or "paper".
+	Scale string `json:"scale,omitempty"`
+	// Nodes fixes the node count; 0 allocates one past the highest index used.
+	Nodes int `json:"nodes,omitempty"`
+	// HorizonS bounds the run in virtual seconds (0 = library default).
+	HorizonS float64 `json:"horizon_s,omitempty"`
+	// Threshold overrides the Algorithm 1 write-count cutoff when non-nil.
+	Threshold *uint32 `json:"threshold,omitempty"`
+	// PreseededImages marks base images as pre-staged on every node.
+	PreseededImages bool `json:"preseeded_images,omitempty"`
+	// SampleIntervalS enables periodic degradation samples on the trace bus.
+	SampleIntervalS float64 `json:"sample_interval_s,omitempty"`
+	// Parallel > 0 runs on the component-parallel kernel with that many
+	// workers (the planner still falls back to serial when it must).
+	Parallel int `json:"parallel,omitempty"`
+	// SeedCapture includes the hex-float determinism capture in the result.
+	SeedCapture bool `json:"seed_capture,omitempty"`
+	// WallBudgetS overrides the per-run wall-clock breaker, in seconds; it is
+	// capped by the server's configured maximum.
+	WallBudgetS float64 `json:"wall_budget_s,omitempty"`
+
+	VMs        []VMSpec        `json:"vms"`
+	Migrations []MigrationSpec `json:"migrations,omitempty"`
+	Campaigns  []CampaignSpec  `json:"campaigns,omitempty"`
+	Faults     []FaultSpec     `json:"faults,omitempty"`
+	Traffic    []TrafficSpec   `json:"traffic,omitempty"`
+	Retry      *RetrySpec      `json:"retry,omitempty"`
+}
+
+// VMSpec declares one VM.
+type VMSpec struct {
+	Name     string        `json:"name"`
+	Node     int           `json:"node"`
+	Approach string        `json:"approach"`
+	Workload *WorkloadSpec `json:"workload,omitempty"`
+}
+
+// WorkloadSpec names the guest workload. Parameter objects use the library's
+// field names (e.g. {"FileSize": 67108864}); nil parameters take the scale's
+// defaults.
+type WorkloadSpec struct {
+	Kind      string          `json:"kind"`
+	IOR       *params.IOR     `json:"ior,omitempty"`
+	AsyncWR   *params.AsyncWR `json:"asyncwr,omitempty"`
+	Rewrite   *params.Rewrite `json:"rewrite,omitempty"`
+	DeadlineS float64         `json:"deadline_s,omitempty"`
+}
+
+// MigrationSpec is one timed entry of the migration plan.
+type MigrationSpec struct {
+	VM  string  `json:"vm"`
+	Dst int     `json:"dst"`
+	AtS float64 `json:"at_s"`
+}
+
+// CampaignSpec is an orchestrated batch of migrations under a policy:
+// "all-at-once", "serial", "batched" (requires k >= 1), or "cycle-aware".
+type CampaignSpec struct {
+	AtS    float64    `json:"at_s"`
+	Policy string     `json:"policy"`
+	K      int        `json:"k,omitempty"`
+	Steps  []StepSpec `json:"steps"`
+}
+
+// StepSpec is one migration of a campaign.
+type StepSpec struct {
+	VM  string `json:"vm"`
+	Dst int    `json:"dst"`
+}
+
+// FaultSpec schedules one fault; kind uses the trace wire names:
+// "dest-crash", "deadline-exceeded", "link-degrade", "fabric-degrade",
+// "partition".
+type FaultSpec struct {
+	AtS       float64 `json:"at_s"`
+	Kind      string  `json:"kind"`
+	VM        string  `json:"vm,omitempty"`
+	Node      int     `json:"node,omitempty"`
+	Factor    float64 `json:"factor,omitempty"`
+	DurationS float64 `json:"duration_s,omitempty"`
+}
+
+// TrafficSpec declares one background cross-traffic window.
+type TrafficSpec struct {
+	Src    int     `json:"src"`
+	Dst    int     `json:"dst"`
+	StartS float64 `json:"start_s"`
+	StopS  float64 `json:"stop_s"`
+	Rate   float64 `json:"rate,omitempty"`
+	Burst  float64 `json:"burst,omitempty"`
+}
+
+// RetrySpec bounds re-admission of fault-aborted migrations.
+type RetrySpec struct {
+	MaxAttempts int     `json:"max_attempts"`
+	BackoffS    float64 `json:"backoff_s,omitempty"`
+	Factor      float64 `json:"factor,omitempty"`
+}
+
+// DecodeSpec parses a request body strictly: unknown fields, trailing data
+// and malformed JSON all fail with ErrBadSpec.
+func DecodeSpec(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var sp Spec
+	if err := dec.Decode(&sp); err != nil {
+		return nil, badSpecf("decoding JSON: %v", err)
+	}
+	// A second document (or any trailing garbage) is a client bug; surface it
+	// instead of silently running the first document.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, badSpecf("trailing data after spec")
+	}
+	return &sp, nil
+}
+
+func parseFaultKind(s string) (scenario.FaultKind, error) {
+	for _, k := range []scenario.FaultKind{
+		scenario.FaultDestCrash, scenario.FaultDeadline, scenario.FaultLinkDegrade,
+		scenario.FaultFabricDegrade, scenario.FaultPartition,
+	} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, badSpecf("unknown fault kind %q (want dest-crash, deadline-exceeded, link-degrade, fabric-degrade or partition)", s)
+}
+
+func parsePolicy(c CampaignSpec, i int) (sched.Policy, error) {
+	switch c.Policy {
+	case "all-at-once":
+		return sched.AllAtOnce{}, nil
+	case "serial":
+		return sched.Serial{}, nil
+	case "batched":
+		if c.K < 1 {
+			return nil, badSpecf("campaign %d: policy \"batched\" needs k >= 1", i)
+		}
+		return sched.BatchedK{K: c.K}, nil
+	case "cycle-aware":
+		return sched.CycleAware{}, nil
+	default:
+		return nil, badSpecf("campaign %d: unknown policy %q (want all-at-once, serial, batched or cycle-aware)", i, c.Policy)
+	}
+}
+
+func (w *WorkloadSpec) toScenario(vm string) (scenario.WorkloadSpec, error) {
+	if w == nil {
+		return scenario.WorkloadSpec{}, nil
+	}
+	switch strings.ToLower(w.Kind) {
+	case "", "none":
+		return scenario.WorkloadSpec{}, nil
+	case "ior":
+		return scenario.IOR(w.IOR), nil
+	case "asyncwr":
+		return scenario.AsyncWR(w.AsyncWR, w.DeadlineS), nil
+	case "rewrite":
+		return scenario.Rewrite(w.Rewrite), nil
+	default:
+		return scenario.WorkloadSpec{}, badSpecf("VM %q: unknown workload kind %q (want none, ior, asyncwr or rewrite)", vm, w.Kind)
+	}
+}
+
+// ToScenario translates the spec into a ready-to-validate Scenario; extra
+// options (the run's trace observer) are appended after the spec's own.
+// Spec-level shape errors (unknown enum strings) wrap ErrBadSpec; everything
+// semantic is left to scenario validation so the two run paths can never
+// disagree.
+func (sp *Spec) ToScenario(extra ...scenario.Option) (*scenario.Scenario, error) {
+	var opts []scenario.Option
+	switch strings.ToLower(sp.Scale) {
+	case "", "small":
+		opts = append(opts, scenario.WithScale(scenario.ScaleSmall))
+	case "paper":
+		opts = append(opts, scenario.WithScale(scenario.ScalePaper))
+	default:
+		return nil, badSpecf("unknown scale %q (want small or paper)", sp.Scale)
+	}
+	if sp.Nodes > 0 {
+		opts = append(opts, scenario.WithNodes(sp.Nodes))
+	}
+	if sp.HorizonS > 0 {
+		opts = append(opts, scenario.WithHorizon(sp.HorizonS))
+	}
+	if sp.Threshold != nil {
+		opts = append(opts, scenario.WithThreshold(*sp.Threshold))
+	}
+	if sp.PreseededImages {
+		opts = append(opts, scenario.WithPreseededImages())
+	}
+	if sp.SampleIntervalS > 0 {
+		opts = append(opts, scenario.WithSampleInterval(sp.SampleIntervalS))
+	}
+	if sp.Parallel > 0 {
+		opts = append(opts, scenario.WithParallel(sp.Parallel))
+	}
+	if sp.SeedCapture {
+		opts = append(opts, scenario.WithSeedCapture())
+	}
+	for _, f := range sp.Faults {
+		kind, err := parseFaultKind(f.Kind)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, scenario.WithFaults(scenario.FaultSpec{
+			At: f.AtS, Kind: kind, VM: f.VM, Node: f.Node,
+			Factor: f.Factor, Duration: f.DurationS,
+		}))
+	}
+	for _, t := range sp.Traffic {
+		opts = append(opts, scenario.WithBackgroundTraffic(scenario.TrafficSpec{
+			Src: t.Src, Dst: t.Dst, Start: t.StartS, Stop: t.StopS,
+			Rate: t.Rate, Burst: t.Burst,
+		}))
+	}
+	if sp.Retry != nil {
+		opts = append(opts, scenario.WithRetry(scenario.RetrySpec{
+			MaxAttempts: sp.Retry.MaxAttempts,
+			Backoff:     sp.Retry.BackoffS,
+			Factor:      sp.Retry.Factor,
+		}))
+	}
+
+	opts = append(opts, extra...)
+	s := scenario.New(opts...)
+	for _, v := range sp.VMs {
+		w, err := v.Workload.toScenario(v.Name)
+		if err != nil {
+			return nil, err
+		}
+		s.AddVM(scenario.VMSpec{
+			Name:     v.Name,
+			Node:     v.Node,
+			Approach: cluster.Approach(v.Approach),
+			Workload: w,
+		})
+	}
+	for _, m := range sp.Migrations {
+		s.MigrateAt(m.VM, m.Dst, m.AtS)
+	}
+	for i, c := range sp.Campaigns {
+		pol, err := parsePolicy(c, i)
+		if err != nil {
+			return nil, err
+		}
+		steps := make([]scenario.Step, len(c.Steps))
+		for j, st := range c.Steps {
+			steps[j] = scenario.Step{VM: st.VM, Dst: st.Dst}
+		}
+		s.Campaign(c.AtS, pol, steps...)
+	}
+	return s, nil
+}

@@ -37,6 +37,13 @@ var errKilled = errors.New("sim: process killed")
 // ErrStopped is returned by Run when the engine was stopped explicitly.
 var ErrStopped = errors.New("sim: engine stopped")
 
+// ErrInterrupted is returned (wrapped) by the run loops when the interrupt
+// check installed with SetInterrupt reported true: the loop stopped between
+// two events, with the queue and processes intact. Callers that abandon the
+// run must still call Shutdown to release process goroutines. Detect it with
+// errors.Is.
+var ErrInterrupted = errors.New("sim: run interrupted")
+
 // DeadlineError reports that a simulation reached its horizon with work
 // still pending: the event queue was not empty when the clock hit the
 // limit. Callers distinguish it from other failures with errors.As.
@@ -98,6 +105,15 @@ type Engine struct {
 	stopped bool
 	running bool
 	current *Proc // process currently executing, nil when in engine context
+
+	// Interrupt hook (SetInterrupt): checked between events, every
+	// intrEvery firings, by the run loops. The check must be safe to call
+	// from whichever goroutine drives the engine; it must not mutate
+	// simulation state, so a run that is never interrupted stays
+	// bit-identical to one with no hook installed.
+	intrCheck func() bool
+	intrEvery int
+	intrLeft  int
 }
 
 // New returns a fresh engine with the clock at zero.
@@ -252,6 +268,36 @@ func (e *Engine) fire(ev *event) {
 	fn()
 }
 
+// SetInterrupt installs a cooperative interrupt: the run loops call check
+// between events, once every `every` firings (values < 1 mean every event),
+// and stop with ErrInterrupted when it reports true. The queue and processes
+// are left intact — a caller abandoning the run calls Shutdown, exactly as
+// for a horizon overrun. A nil check removes the hook. The hook never runs
+// inside an event, so it cannot perturb simulation state, and a run whose
+// check never fires is bit-identical to a run without one.
+func (e *Engine) SetInterrupt(every int, check func() bool) {
+	if every < 1 {
+		every = 1
+	}
+	e.intrCheck = check
+	e.intrEvery = every
+	e.intrLeft = every
+}
+
+// interrupted polls the interrupt hook's countdown; it is called by the run
+// loops between events.
+func (e *Engine) interrupted() bool {
+	if e.intrCheck == nil {
+		return false
+	}
+	e.intrLeft--
+	if e.intrLeft > 0 {
+		return false
+	}
+	e.intrLeft = e.intrEvery
+	return e.intrCheck()
+}
+
 // Run executes events until the queue drains or the engine is stopped.
 // It returns ErrStopped if Stop was called, nil otherwise.
 func (e *Engine) Run() error { return e.RunUntil(math.Inf(1)) }
@@ -268,6 +314,9 @@ func (e *Engine) RunUntil(limit Time) error {
 	for len(e.queue) > 0 && !e.stopped {
 		if e.queue[0].t > limit {
 			break
+		}
+		if e.interrupted() {
+			return ErrInterrupted
 		}
 		e.fire(e.popEvent())
 	}
@@ -292,6 +341,9 @@ func (e *Engine) RunBefore(limit Time) error {
 	for len(e.queue) > 0 && !e.stopped {
 		if e.queue[0].t >= limit {
 			break
+		}
+		if e.interrupted() {
+			return ErrInterrupted
 		}
 		e.fire(e.popEvent())
 	}
