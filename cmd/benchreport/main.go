@@ -8,11 +8,18 @@
 // Usage:
 //
 //	benchreport [-scale small|paper] [-skip-experiments] [-parallel N] [-o BENCH.json]
+//	benchreport -compare old.json new.json [-threshold 0.30]
 //
 // With -parallel != 0 the experiment drivers are timed twice — once serial,
 // once with N concurrent cells (-1 = GOMAXPROCS) — and a 10,000-VM campaign
 // smoke runs through the component-parallel scenario kernel, so BENCH.json
 // records the serial-vs-parallel trajectory side by side.
+//
+// -compare turns two BENCH.json snapshots into a trajectory: a field-wise
+// delta report over the micro and experiment series, exiting nonzero when any
+// series regressed past the threshold (fractional; 0.30 = 30% slower) or when
+// a zero-alloc series started allocating. -cpuprofile/-memprofile write pprof
+// profiles of the measurement run for drill-down.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -57,7 +65,46 @@ func main() {
 	skipExp := flag.Bool("skip-experiments", false, "only run micro-benchmarks")
 	parallel := flag.Int("parallel", -1, "workers for the parallel experiment legs (-1 = GOMAXPROCS, 0 = serial legs only)")
 	out := flag.String("o", "BENCH.json", "output path")
+	compare := flag.Bool("compare", false, "compare two BENCH.json files (old new) instead of measuring")
+	threshold := flag.Float64("threshold", 0.30, "with -compare: fractional slowdown that counts as a regression")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the measurement run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchreport: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(compareReports(flag.Arg(0), flag.Arg(1), *threshold))
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			}
+		}()
+	}
 
 	var scale experiments.Scale
 	switch *scaleName {
@@ -104,6 +151,7 @@ func main() {
 
 	if !*skipExp {
 		experiment := func(name string, run func()) {
+			runtime.GC() // each leg starts from a settled heap
 			start := time.Now()
 			run()
 			e := Experiment{Name: name, Scale: scale.String(), WallSeconds: time.Since(start).Seconds()}
@@ -136,6 +184,100 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// loadReport reads one BENCH.json snapshot.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compareReports prints a field-wise delta between two BENCH.json snapshots
+// and returns the process exit code: 0 when no series regressed past the
+// threshold, 1 otherwise. Series present in only one file are reported but
+// never count as regressions (the suite grows over time).
+func compareReports(oldPath, newPath string, threshold float64) int {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		return 2
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		return 2
+	}
+
+	regressions := 0
+	// delta reports one numeric field; worse-by-more-than-threshold flags it.
+	delta := func(name, field string, old, new float64, unit string) {
+		rel := 0.0
+		if old > 0 {
+			rel = (new - old) / old
+		}
+		mark := " "
+		if old > 0 && rel > threshold {
+			mark = "!"
+			regressions++
+		}
+		fmt.Printf("%s %-38s %-10s %14.1f -> %14.1f %-6s %+7.1f%%\n",
+			mark, name, field, old, new, unit, rel*100)
+	}
+
+	oldMicro := make(map[string]Micro, len(oldRep.Micro))
+	for _, m := range oldRep.Micro {
+		oldMicro[m.Name] = m
+	}
+	for _, m := range newRep.Micro {
+		o, ok := oldMicro[m.Name]
+		if !ok {
+			fmt.Printf("+ %-38s new series: %.1f ns/op, %d allocs/op\n", m.Name, m.NsPerOp, m.AllocsPerOp)
+			continue
+		}
+		delete(oldMicro, m.Name)
+		delta(m.Name, "ns/op", o.NsPerOp, m.NsPerOp, "ns")
+		if m.AllocsPerOp > o.AllocsPerOp {
+			// Allocation regressions are exact, not thresholded: a pooled
+			// path that starts allocating is a bug regardless of magnitude.
+			fmt.Printf("! %-38s allocs/op  %14d -> %14d\n", m.Name, o.AllocsPerOp, m.AllocsPerOp)
+			regressions++
+		}
+	}
+	for name := range oldMicro {
+		fmt.Printf("- %-38s series dropped\n", name)
+	}
+
+	oldExp := make(map[string]Experiment, len(oldRep.Experiments))
+	for _, e := range oldRep.Experiments {
+		oldExp[e.Name+"@"+e.Scale] = e
+	}
+	for _, e := range newRep.Experiments {
+		key := e.Name + "@" + e.Scale
+		o, ok := oldExp[key]
+		if !ok {
+			fmt.Printf("+ %-38s new series: %.1f s wall\n", key, e.WallSeconds)
+			continue
+		}
+		delete(oldExp, key)
+		delta(key, "wall", o.WallSeconds, e.WallSeconds, "s")
+	}
+	for key := range oldExp {
+		fmt.Printf("- %-38s series dropped\n", key)
+	}
+
+	if regressions > 0 {
+		fmt.Printf("benchreport: %d series regressed past %+.0f%%\n", regressions, threshold*100)
+		return 1
+	}
+	fmt.Println("benchreport: no regressions")
+	return 0
 }
 
 // tenKCampaignSmoke migrates 10,000 preseeded idle VMs across 5,000 disjoint

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -31,15 +32,28 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 16, "admission queue depth; a full queue sheds with HTTP 429")
-		maxWall = flag.Float64("max-wall", 300, "per-run wall-clock budget cap in seconds (runaway breaker)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 16, "admission queue depth; a full queue sheds with HTTP 429")
+		maxWall  = flag.Float64("max-wall", 300, "per-run wall-clock budget cap in seconds (runaway breaker)")
+		pprofSrv = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "migsimd: unexpected arguments: %v\n", flag.Args())
 		os.Exit(2)
+	}
+
+	if *pprofSrv != "" {
+		// The profiler gets its own listener so it is never exposed on the
+		// service address; net/http/pprof registers on DefaultServeMux, which
+		// the service handler does not use.
+		go func() {
+			log.Printf("migsimd: pprof on http://%s/debug/pprof/", *pprofSrv)
+			if err := http.ListenAndServe(*pprofSrv, nil); err != nil {
+				log.Printf("migsimd: pprof: %v", err)
+			}
+		}()
 	}
 
 	srv := service.New(service.Config{

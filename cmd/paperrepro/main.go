@@ -22,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"github.com/hybridmig/hybridmig/internal/experiments"
@@ -35,8 +37,37 @@ func main() {
 	scaleName := flag.String("scale", "small", "run size: small or paper")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
 	parallel := flag.Int("parallel", 0, "experiment cells to run concurrently (0 = serial, -1 = GOMAXPROCS); output is identical either way")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 	experiments.SetParallel(*parallel)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
+			}
+		}()
+	}
 
 	var scale experiments.Scale
 	switch *scaleName {

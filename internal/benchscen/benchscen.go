@@ -36,9 +36,12 @@ func FlowChurn(b *testing.B, flows int, shared bool) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		f := &flow.Flow{Links: churnPath, Size: 1e15}
+		f := n.AcquireFlow()
+		f.Links = churnPath
+		f.Size = 1e15
 		n.Start(f)
 		n.Cancel(f)
+		n.ReleaseFlow(f)
 	}
 	b.StopTimer()
 	e.Stop()

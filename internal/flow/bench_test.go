@@ -28,6 +28,25 @@ func BenchmarkRecomputeShared(b *testing.B) {
 	}
 }
 
+// TestFlowChurnZeroAllocs is the allocation guard for the churn hot path:
+// with the Net's flow free list in play, a start+cancel cycle against a
+// standing population must not allocate — in either link regime. A nonzero
+// AllocsPerOp here means something on the Start/Cancel/timer path regressed.
+func TestFlowChurnZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed guard skipped in -short")
+	}
+	for _, tc := range []struct {
+		name   string
+		shared bool
+	}{{"disjoint", false}, {"shared", true}} {
+		r := testing.Benchmark(func(b *testing.B) { benchscen.FlowChurn(b, 100, tc.shared) })
+		if a := r.AllocsPerOp(); a != 0 {
+			t.Errorf("%s churn: %d allocs/op (%d B/op), want 0", tc.name, a, r.AllocedBytesPerOp())
+		}
+	}
+}
+
 // BenchmarkTransferComplete runs full flow lifecycles (start, completion
 // sweep, callback) on a private link pair with a standing disjoint
 // population, covering the settle/heap/reschedule path end to end.

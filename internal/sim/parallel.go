@@ -47,9 +47,30 @@ type Coupling struct {
 
 // ShardSet drives a set of per-component engines through a horizon with
 // conservative synchronization at coupling timestamps.
+//
+// Shard work is executed by a pool of persistent workers that live for the
+// duration of one Drain: they are spawned once at the first parallel round
+// and then parked at a reusable barrier between rounds, so a run with one
+// coupling per fabric step pays goroutine creation once, not once per
+// barrier. Error scratch is pooled on the set for the same reason.
 type ShardSet struct {
 	engines []*Engine
 	workers int
+	errs    []error // pooled per-drain scratch
+
+	// Persistent worker pool. Guarded by mu; work parks workers between
+	// rounds, idle parks the coordinator until the round completes.
+	mu      sync.Mutex
+	work    sync.Cond
+	idle    sync.Cond
+	round   uint64
+	stopped bool
+	fn      func(int)
+	n       int
+	next    atomic.Int64
+	running int
+	spawned int
+	wg      sync.WaitGroup
 }
 
 // NewShardSet returns a shard set over the given engines. workers bounds the
@@ -58,7 +79,10 @@ func NewShardSet(engines []*Engine, workers int) *ShardSet {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &ShardSet{engines: engines, workers: workers}
+	s := &ShardSet{engines: engines, workers: workers}
+	s.work.L = &s.mu
+	s.idle.L = &s.mu
+	return s
 }
 
 // Shards returns the number of shards.
@@ -67,6 +91,7 @@ func (s *ShardSet) Shards() int { return len(s.engines) }
 // each runs fn(i) for every shard index, at most s.workers concurrently, and
 // returns when all have finished. Shard indices are claimed from a shared
 // counter, so completion order is nondeterministic but coverage is total.
+// Parallel rounds are dispatched to the persistent pool, started lazily.
 func (s *ShardSet) each(fn func(i int)) {
 	n := len(s.engines)
 	w := s.workers
@@ -79,23 +104,82 @@ func (s *ShardSet) each(fn func(i int)) {
 		}
 		return
 	}
-	var next atomic.Int64
-	next.Store(-1)
-	var wg sync.WaitGroup
-	for k := 0; k < w; k++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1))
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
+	if s.spawned == 0 {
+		s.startPool(w)
 	}
-	wg.Wait()
+	s.runRound(fn, n)
+}
+
+// startPool spawns w persistent workers parked at the round barrier.
+func (s *ShardSet) startPool(w int) {
+	s.stopped = false
+	s.spawned = w
+	s.wg.Add(w)
+	for k := 0; k < w; k++ {
+		go s.worker()
+	}
+}
+
+// worker is the persistent pool loop: wait for a round (or stop), claim
+// shard indices from the shared counter until exhausted, report completion.
+func (s *ShardSet) worker() {
+	defer s.wg.Done()
+	var seen uint64
+	for {
+		s.mu.Lock()
+		for !s.stopped && s.round == seen {
+			s.work.Wait()
+		}
+		if s.stopped {
+			s.mu.Unlock()
+			return
+		}
+		seen = s.round
+		fn, n := s.fn, s.n
+		s.mu.Unlock()
+		for {
+			i := int(s.next.Add(1))
+			if i >= n {
+				break
+			}
+			fn(i)
+		}
+		s.mu.Lock()
+		s.running--
+		if s.running == 0 {
+			s.idle.Signal()
+		}
+		s.mu.Unlock()
+	}
+}
+
+// runRound publishes one round of work to the pool and waits for it to
+// complete. The coordinator never mutates round state while workers run.
+func (s *ShardSet) runRound(fn func(int), n int) {
+	s.mu.Lock()
+	s.fn, s.n = fn, n
+	s.next.Store(-1)
+	s.running = s.spawned
+	s.round++
+	s.work.Broadcast()
+	for s.running > 0 {
+		s.idle.Wait()
+	}
+	s.fn = nil
+	s.mu.Unlock()
+}
+
+// stopPool retires the persistent workers and joins them.
+func (s *ShardSet) stopPool() {
+	if s.spawned == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.stopped = true
+	s.work.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.spawned = 0
 }
 
 // Drain advances every shard to the horizon, synchronizing at each coupling:
@@ -108,7 +192,14 @@ func (s *ShardSet) each(fn func(i int)) {
 // if any shard was stopped, else a single *DeadlineError summing the stuck
 // work across shards (Next is the earliest pending event anywhere), else nil.
 func (s *ShardSet) Drain(couplings []Coupling, horizon Time) error {
-	errs := make([]error, len(s.engines))
+	defer s.stopPool()
+	if cap(s.errs) < len(s.engines) {
+		s.errs = make([]error, len(s.engines))
+	}
+	errs := s.errs[:len(s.engines)]
+	for i := range errs {
+		errs[i] = nil
+	}
 	for _, c := range couplings {
 		if c.At > horizon {
 			break

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
+	"time"
 )
 
 // TestRunBeforeStrict pins the strictly-less-than window: events at the
@@ -160,6 +162,63 @@ func TestShardSetMergedDeadline(t *testing.T) {
 	}
 	if de.Next != 15 || de.Pending != 3 || de.Horizon != 10 {
 		t.Fatalf("merged deadline %+v, want Next=15 Pending=3 Horizon=10", de)
+	}
+}
+
+// TestShardSetPoolBarrierStress hammers the persistent worker pool: many
+// shards, hundreds of couplings (each a pool round), and repeated Drain
+// calls on the same set — under -race this exercises the reusable barrier's
+// publication of fn/n/next across rounds and the stop/restart transition.
+// It also pins the no-leak property: the pool's workers are joined before
+// Drain returns, so goroutine count settles back to its pre-Drain baseline.
+func TestShardSetPoolBarrierStress(t *testing.T) {
+	const shards = 12
+	engines := make([]*Engine, shards)
+	counts := make([]int, shards)
+	for i := range engines {
+		e := New()
+		engines[i] = e
+		idx := i
+		for k := 0; k < 400; k++ {
+			e.At(Time(k)*0.25+Time(idx)*0.001, func() { counts[idx]++ })
+		}
+	}
+	var couplings []Coupling
+	applied := 0
+	for k := 1; k <= 300; k++ {
+		couplings = append(couplings, Coupling{At: Time(k) * 0.33, Apply: func(int) { applied++ }})
+	}
+	baseline := runtime.NumGoroutine()
+	set := NewShardSet(engines, 8)
+	// Two Drains on one set: the pool must restart cleanly after stopPool.
+	// The first horizon lands mid-stream, so a merged DeadlineError (events
+	// still pending) is the expected outcome; the second Drain finishes them.
+	err := set.Drain(couplings[:150], 49.5)
+	var de *DeadlineError
+	if !errors.As(err, &de) {
+		t.Fatalf("first Drain: want *DeadlineError, got %v", err)
+	}
+	if err := set.Drain(couplings[150:], 1000); err != nil {
+		t.Fatal(err)
+	}
+	if applied != 300*shards {
+		t.Fatalf("Apply ran %d times, want %d", applied, 300*shards)
+	}
+	for i, n := range counts {
+		if n != 400 {
+			t.Fatalf("shard %d fired %d events, want 400", i, n)
+		}
+	}
+	// Workers are joined at Drain exit; allow brief settling for exiting
+	// goroutines whose wg.Done has run but whose stacks haven't unwound.
+	for try := 0; try < 100; try++ {
+		if runtime.NumGoroutine() <= baseline {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline {
+		t.Fatalf("goroutines %d > baseline %d after Drain: pool leaked", g, baseline)
 	}
 }
 
